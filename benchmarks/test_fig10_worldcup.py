@@ -1,0 +1,49 @@
+"""Figure 10: time-varying load from the World Cup-style trace.
+
+Shape claims (Section 6.4, Figure 10(b)): POLARIS achieves both the
+lowest average power AND the lowest failure rate; Conservative burns
+the most power; OnDemand lands in between on power but misses the most
+deadlines.  All schemes' power tracks the load, POLARIS's adjustments
+being the deepest.
+"""
+
+from repro.harness import figures
+
+
+def test_fig10_worldcup(benchmark, figure_options, archive):
+    result = benchmark.pedantic(figures.fig10_worldcup,
+                                args=(figure_options,),
+                                iterations=1, rounds=1)
+    archive("fig10_worldcup", result.render())
+
+    power = {label: p for label, (p, _) in result.summary.items()}
+    failure = {label: f for label, (_, f) in result.summary.items()}
+
+    # Paper Figure 10(b) ordering: Conservative 168.9/0.09,
+    # OnDemand 152.9/0.13, POLARIS 139/0.07.
+    assert power["POLARIS"] < power["OnDemand"] < power["Conservative"]
+    assert failure["POLARIS"] <= failure["OnDemand"]
+    assert failure["POLARIS"] <= failure["Conservative"] + 0.01
+
+    # Every scheme's power timeline tracks the load: power in the
+    # highest-load fifth of bins exceeds the lowest-load fifth.
+    trace = result.trace
+    for label, series in result.timelines.items():
+        assert len(series) >= 4
+        paired = []
+        bin_width = figure_options.timeline_bin_seconds \
+            if hasattr(figure_options, "timeline_bin_seconds") else 5.0
+        for centre, watts in series:
+            index = int(centre - 1.0)  # test phase starts after warmup
+            index = min(max(index, 0), len(trace) - 1)
+            paired.append((trace[index], watts))
+        paired.sort()
+        fifth = max(1, len(paired) // 5)
+        low_mean = sum(w for _, w in paired[:fifth]) / fifth
+        high_mean = sum(w for _, w in paired[-fifth:]) / fifth
+        assert high_mean > low_mean, label
+
+    # POLARIS's adjustments are the deepest: largest power swing.
+    swings = {label: max(w for _, w in series) - min(w for _, w in series)
+              for label, series in result.timelines.items()}
+    assert swings["POLARIS"] >= swings["Conservative"] - 2.0

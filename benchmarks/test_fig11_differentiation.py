@@ -1,0 +1,38 @@
+"""Figure 11: per-workload performance for gold and silver tiers.
+
+Shape claims (Section 6.5): the deadline-blind managers show a large
+gap between gold (7.5 ms target) and silver (37.5 ms target) failure
+rates --- gold fails much more because its target is tighter.  POLARIS
+produces similar failure rates for both: gold far less likely to miss,
+silver slightly more likely, at lower power.
+"""
+
+from repro.harness import figures
+
+
+def test_fig11_differentiation(benchmark, figure_options, archive):
+    result = benchmark.pedantic(figures.fig11_differentiation,
+                                args=(figure_options,),
+                                iterations=1, rounds=1)
+    archive("fig11_differentiation", result.render())
+
+    # Deadline-blind schemes: large gold-vs-silver gap.
+    for label in ("2.8 GHz", "Conservative", "OnDemand"):
+        assert result.gap(label) > 0.10, label
+
+    # POLARIS equalizes the tiers: its gap is far smaller...
+    polaris_gap = result.gap("POLARIS")
+    assert polaris_gap < 0.6 * min(result.gap(label) for label in
+                                   ("2.8 GHz", "Conservative", "OnDemand"))
+
+    # ...its gold tier beats OnDemand's gold tier outright...
+    assert result.failures[("POLARIS", "gold")] \
+        < result.failures[("OnDemand", "gold")]
+
+    # ...silver pays slightly (but only slightly) for it...
+    assert result.failures[("POLARIS", "silver")] \
+        >= result.failures[("2.8 GHz", "silver")]
+    assert result.failures[("POLARIS", "silver")] < 0.15
+
+    # ...and POLARIS still draws the least power.
+    assert result.power["POLARIS"] == min(result.power.values())

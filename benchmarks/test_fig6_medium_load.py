@@ -1,0 +1,57 @@
+"""Figure 6: TPC-C medium load --- the paper's headline comparison.
+
+Shape claims checked (Section 6.2):
+
+* running flat out (2.8 GHz) costs ~170 W; a static 2.4 GHz saves
+  ~30 W but misses many more deadlines when slack is tight;
+* Conservative behaves like the 2.8 GHz static governor ("rarely
+  lowers frequency below 2.8 GHz");
+* OnDemand saves power at the cost of more missed deadlines;
+* POLARIS saves 30+ W *and* misses no more deadlines than 2.8 GHz at
+  tight slack (roughly half of OnDemand's misses), with savings growing
+  past 40 W as slack loosens.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+def test_fig6_medium_load(benchmark, figure_options, archive):
+    result = benchmark.pedantic(figures.fig6_tpcc_medium,
+                                args=(figure_options,),
+                                iterations=1, rounds=1)
+    archive("fig6_medium_load", result.render())
+
+    polaris_p = result.power("POLARIS")
+    static28_p = result.power("2.8 GHz")
+    static24_p = result.power("2.4 GHz")
+    conservative_p = result.power("Conservative")
+    ondemand_p = result.power("OnDemand")
+
+    # Wall-power levels (paper: ~170 W at 2.8 GHz, ~30 W step to 2.4).
+    assert all(160 < p < 180 for p in static28_p)
+    assert all(25 < a - b < 40 for a, b in zip(static28_p, static24_p))
+
+    # Conservative ~ 2.8 GHz static at medium load.
+    assert all(abs(a - b) < 5 for a, b in zip(conservative_p, static28_p))
+
+    # POLARIS saves ~20 W at tight slack (paper: 30+; see EXPERIMENTS.md
+    # for the deviation note) and >30 W at loose slack.
+    assert static28_p[0] - polaris_p[0] > 18
+    assert static28_p[-1] - polaris_p[-1] > 30
+
+    # OnDemand saves power but sits above POLARIS.
+    assert all(s - o > 5 for s, o in zip(static28_p, ondemand_p))
+    assert all(o > p for o, p in zip(ondemand_p, polaris_p))
+
+    # Failure shape at tight slack (slack=10).
+    tight = {label: result.failure(label)[0] for label in result.series}
+    assert tight["POLARIS"] <= tight["2.8 GHz"] + 0.01
+    assert tight["POLARIS"] < 0.65 * tight["OnDemand"]
+    assert tight["2.4 GHz"] > 1.5 * tight["2.8 GHz"]
+
+    # With loose slack everyone converges near zero, POLARIS included.
+    loose = {label: result.failure(label)[-1] for label in result.series}
+    assert loose["POLARIS"] < 0.01
+    assert loose["2.8 GHz"] < 0.02

@@ -1,0 +1,37 @@
+"""Figure 9: TPC-C high load (90% of peak).
+
+Shape claims (Section 6.3): little room for power optimization ---
+POLARIS and OnDemand shave only ~10 W off the peak-frequency draw, and
+everyone misses many deadlines at tight slack (requests transiently
+arrive faster than the system can absorb even at peak frequency), with
+POLARIS missing the fewest.
+"""
+
+from repro.harness import figures
+
+
+def test_fig9_high_load(benchmark, figure_options, archive):
+    result = benchmark.pedantic(figures.fig9_tpcc_high,
+                                args=(figure_options,),
+                                iterations=1, rounds=1)
+    archive("fig9_high_load", result.render())
+
+    polaris_p = result.power("POLARIS")
+    static28_p = result.power("2.8 GHz")
+    ondemand_p = result.power("OnDemand")
+
+    # Savings shrink to roughly 10 W (paper: "only by about 10 watts").
+    assert all(3 < s - p < 20 for s, p in zip(static28_p, polaris_p))
+    assert all(2 < s - o < 15 for s, o in zip(static28_p, ondemand_p))
+
+    # Tight slack: everyone fails a lot; POLARIS fails least.
+    tight = {label: result.failure(label)[0] for label in result.series}
+    assert tight["2.8 GHz"] > 0.25
+    assert tight["POLARIS"] < tight["2.8 GHz"]
+    assert tight["POLARIS"] < tight["OnDemand"]
+
+    # Loose slack: POLARIS exploits its deadline-awareness to recover
+    # almost completely while still saving power.
+    loose = {label: result.failure(label)[-1] for label in result.series}
+    assert loose["POLARIS"] < 0.05
+    assert loose["POLARIS"] <= loose["2.8 GHz"]

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the hot paths (true pytest-benchmark timing).
+
+Not paper figures --- these keep the substrate honest: the simulator,
+scheduler, estimator, and storage engine must be fast enough that the
+figure benches run in minutes.
+"""
+
+import random
+
+from repro.core.estimator import ExecutionTimeEstimator, SlidingWindowPercentile
+from repro.core.polaris import PolarisScheduler
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.db.storage.btree import BPlusTree
+from repro.sim.engine import Simulator
+
+FREQS = (1.2, 1.6, 2.0, 2.4, 2.8)
+
+
+def test_bench_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10000
+
+
+def test_bench_percentile_tracker_observe(benchmark):
+    tracker = SlidingWindowPercentile(window=1000, percentile=95)
+    rng = random.Random(0)
+    values = [rng.lognormvariate(0, 0.8) for _ in range(5000)]
+
+    def run():
+        for v in values:
+            tracker.observe(v)
+        return tracker.value()
+
+    assert benchmark(run) > 0
+
+
+def test_bench_select_frequency(benchmark):
+    estimator = ExecutionTimeEstimator()
+    workload = Workload("w", 0.050)
+    for freq in FREQS:
+        estimator.prime("w", freq, 1e-3 * 2.8 / freq, count=10)
+    scheduler = PolarisScheduler(FREQS, estimator)
+    rng = random.Random(1)
+    for _ in range(16):
+        scheduler.enqueue(Request(workload, "w", rng.random() * 1e-3, 1.0))
+    running = Request(workload, "w", 0.0, 1.0)
+
+    result = benchmark(scheduler.select_frequency, 1e-3, running, 0.5e-3)
+    assert result in FREQS
+
+
+def test_bench_btree_insert_lookup(benchmark):
+    rng = random.Random(2)
+    keys = [rng.randrange(1 << 30) for _ in range(2000)]
+
+    def run():
+        tree = BPlusTree()
+        for key in keys:
+            tree.insert(key, key)
+        hits = sum(1 for key in keys if tree.get(key) == key)
+        return hits
+
+    assert benchmark(run) == len(set(keys)) + (len(keys) - len(set(keys)))
+
+
+def test_bench_edf_queue_churn(benchmark):
+    from repro.db.queues import EdfQueue
+    workload = Workload("w", 0.05)
+    rng = random.Random(3)
+    arrivals = [rng.random() for _ in range(1000)]
+
+    def run():
+        queue = EdfQueue()
+        for arrival in arrivals:
+            queue.push(Request(workload, "w", arrival, 1.0))
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        return popped
+
+    assert benchmark(run) == 1000

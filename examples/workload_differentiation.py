@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Workload differentiation: gold vs silver latency tiers (Section 6.5).
+
+Two TPC-C workloads share the server: *gold* requests carry a 7.5 ms
+latency target, *silver* requests 37.5 ms.  OS governors cannot tell
+them apart, so gold misses its tighter target far more often; POLARIS
+is deadline-aware and closes the gap.
+
+    python examples/workload_differentiation.py
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    tier_targets = {"gold": 7.5e-3, "silver": 37.5e-3}
+    print("Two full-mix TPC-C workloads, half the medium rate each")
+    print(f"{'scheme':14s} {'power':>8s} {'gold miss':>10s} "
+          f"{'silver miss':>12s} {'gap':>7s}")
+    for scheme in ["static-2.8", "conservative", "ondemand", "polaris"]:
+        config = ExperimentConfig(
+            benchmark="tpcc",
+            scheme=scheme,
+            load_fraction=0.6,
+            workload_policy="tiers",
+            tier_targets=tier_targets,
+            workers=8,
+            warmup_seconds=1.0,
+            test_seconds=4.0,
+            seed=5,
+        )
+        result = run_experiment(config)
+        gold = result.per_workload_failure.get("gold", 0.0)
+        silver = result.per_workload_failure.get("silver", 0.0)
+        print(f"{scheme:14s} {result.avg_power_watts:7.1f}W "
+              f"{gold:10.3f} {silver:12.3f} {gold - silver:7.3f}")
+    print()
+    print("Deadline-blind schemes show a large gold/silver gap; POLARIS")
+    print("spends its speed where the deadline is tight, equalizing the")
+    print("two tiers (paper Figure 11).")
+
+
+if __name__ == "__main__":
+    main()

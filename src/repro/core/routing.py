@@ -1,0 +1,121 @@
+"""Request-routing policies across workers (paper Section 8).
+
+The prototype's request handlers distribute requests round-robin,
+"regardless of the request's transaction type or workload"
+(Section 6.1).  The paper's closing discussion points out the extra
+savings left on the table: "By controlling how transactions are
+distributed to workers, we can obtain additional power savings by
+allowing some workers (and their cores) to idle and move into
+low-power C-states."
+
+This module implements that direction:
+
+* :class:`RoundRobinRouting` --- the paper's baseline;
+* :class:`LeastLoadedRouting` --- classic join-shortest-queue;
+* :class:`PackingRouting` --- the Section 8 idea: concentrate load on
+  the lowest-numbered workers, subject to a backlog cap, so the
+  remaining workers' cores idle long enough to demote into deep
+  C-states (pair with ``ServerConfig(cstate_ladder="deep")``).
+
+Policies see only queue lengths and busy flags --- information the
+request handlers have --- so they remain workload-agnostic like the
+rest of the routing layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class RoutingPolicy:
+    """Chooses the worker index for each incoming request."""
+
+    name = "routing"
+
+    def choose_worker(self, workers: Sequence, request, now: float) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """The paper's round-robin distribution (single rotating pointer)."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose_worker(self, workers: Sequence, request, now: float) -> int:
+        index = self._next % len(workers)
+        self._next = index + 1
+        return index
+
+
+class LeastLoadedRouting(RoutingPolicy):
+    """Join the shortest queue (idle workers first, then fewest queued).
+
+    Balances latency rather than power: it spreads load, which keeps
+    every core lightly busy --- the opposite of what deep C-states need.
+    Included as the natural contrast to :class:`PackingRouting`.
+    """
+
+    name = "least-loaded"
+
+    def choose_worker(self, workers: Sequence, request, now: float) -> int:
+        best_index = 0
+        best_key = None
+        for index, worker in enumerate(workers):
+            key = (0 if worker.idle else 1, worker.queue_length(), index)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+
+class PackingRouting(RoutingPolicy):
+    """Consolidate onto the fewest workers (Section 8's extension).
+
+    Route to the lowest-numbered worker whose backlog (running + queued)
+    is below ``max_backlog``; spill to the next worker only when all
+    earlier ones are saturated.  Workers beyond the active prefix see no
+    requests, so their cores' idle intervals grow long enough for the
+    C-state ladder to demote them into C6.
+
+    ``max_backlog`` trades power for latency: a small cap behaves like
+    least-loaded (little parking); a large cap parks aggressively but
+    queues more work per active core.
+    """
+
+    name = "packing"
+
+    def __init__(self, max_backlog: int = 3):
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be at least 1")
+        self.max_backlog = max_backlog
+
+    def choose_worker(self, workers: Sequence, request, now: float) -> int:
+        fallback_index = 0
+        fallback_backlog = None
+        for index, worker in enumerate(workers):
+            backlog = worker.queue_length() + (0 if worker.idle else 1)
+            if backlog < self.max_backlog:
+                return index
+            if fallback_backlog is None or backlog < fallback_backlog:
+                fallback_backlog = backlog
+                fallback_index = index
+        return fallback_index  # everyone saturated: least-bad choice
+
+
+ROUTING_POLICIES = {
+    "round-robin": RoundRobinRouting,
+    "least-loaded": LeastLoadedRouting,
+    "packing": PackingRouting,
+}
+
+
+def make_routing(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by name."""
+    cls = ROUTING_POLICIES.get(name)
+    if cls is None:
+        raise KeyError(f"unknown routing policy {name!r}; "
+                       f"available: {sorted(ROUTING_POLICIES)}")
+    return cls()

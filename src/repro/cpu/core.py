@@ -1,0 +1,255 @@
+"""Simulated frequency-scalable CPU core.
+
+A :class:`Core` executes non-preemptive :class:`Job`\\ s.  A job's size is
+its *work* in giga-cycles; at frequency ``f`` GHz the remaining work
+drains at ``f`` giga-cycles per second, so a fresh job of work ``w``
+takes ``w / f`` seconds --- the standard speed-scaling execution model
+(paper Section 4.1) restricted to the discrete P-state grid.
+
+Frequency changes may arrive *mid-job*: POLARIS raises the frequency
+when an urgent transaction arrives behind the running one (Figure 2 and
+Lemma 4.2).  The core then recomputes the work executed so far and
+reschedules the completion event.
+
+The core also keeps exact energy/busy-time/residency accounts, closed
+segment by segment at every state change, which the power meter, RAPL
+counters, and the OS governors' utilization sampling all read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cpu.cstates import CStateModel
+from repro.cpu.power import CorePowerModel
+from repro.cpu.pstates import PStateTable
+from repro.sim.engine import Event, Simulator
+
+
+class Job:
+    """A unit of non-preemptive work (one transaction execution).
+
+    ``work`` is in giga-cycles.  The core fills in the timing fields as
+    the job runs; ``payload`` carries the database request so completion
+    handlers can reach it without a lookup.
+    """
+
+    __slots__ = ("work", "payload", "start_time", "finish_time",
+                 "dispatch_freq")
+
+    def __init__(self, work: float, payload=None):
+        if work < 0:
+            raise ValueError(f"job work cannot be negative: {work}")
+        self.work = work
+        self.payload = payload
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: frequency (GHz) at the moment the job was dispatched; execution
+        #: time observations are attributed to this frequency, as in the
+        #: prototype (Section 3.2).
+        self.dispatch_freq: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Wall (virtual) execution time, available once finished."""
+        if self.start_time is None or self.finish_time is None:
+            raise RuntimeError("job has not finished")
+        return self.finish_time - self.start_time
+
+
+class Core:
+    """One frequency-scalable physical core.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock/event loop.
+    core_id:
+        Stable identifier (used by MSR addressing and reports).
+    pstates:
+        The frequency grid this core can be set to.  Note: governors may
+        use the full 16-level grid while POLARIS uses its 5-level subset;
+        each experiment passes the appropriate table.
+    power_model / cstates:
+        Calibrated power curves and the idle-state ladder.
+    transition_latency:
+        Seconds of execution stall per frequency change (default 0; the
+        paper measures sub-microsecond switches via direct MSR writes).
+    """
+
+    def __init__(self, sim: Simulator, core_id: int, pstates: PStateTable,
+                 power_model: Optional[CorePowerModel] = None,
+                 cstates: Optional[CStateModel] = None,
+                 transition_latency: float = 0.0,
+                 initial_freq: Optional[float] = None):
+        self.sim = sim
+        self.core_id = core_id
+        self.pstates = pstates
+        self.power_model = power_model or CorePowerModel()
+        self.cstates = cstates or CStateModel()
+        self.transition_latency = transition_latency
+
+        self.freq: float = initial_freq if initial_freq is not None \
+            else pstates.max_freq
+        if self.freq not in pstates:
+            raise ValueError(f"initial frequency {self.freq} not in table")
+
+        # --- execution state ------------------------------------------
+        self._job: Optional[Job] = None
+        self._executed: float = 0.0          # giga-cycles done on _job
+        self._progress_mark: float = sim.now  # when _executed was last true
+        self._completion: Optional[Event] = None
+        self._on_complete: Optional[Callable[[Job], None]] = None
+
+        # --- accounting -------------------------------------------------
+        self._segment_start: float = sim.now
+        self._segment_busy: bool = False
+        self.energy_joules: float = 0.0
+        self.busy_seconds: float = 0.0
+        self.jobs_completed: int = 0
+        self.freq_transitions: int = 0
+        self.freq_residency: Dict[float, float] = {}
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a job is executing."""
+        return self._job is not None
+
+    @property
+    def running_job(self) -> Optional[Job]:
+        return self._job
+
+    def running_elapsed(self) -> float:
+        """Run time so far of the current job (the paper's ``e0``)."""
+        if self._job is None or self._job.start_time is None:
+            return 0.0
+        return self.sim.now - self._job.start_time
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start_job(self, job: Job,
+                  on_complete: Optional[Callable[[Job], None]] = None) -> None:
+        """Begin executing ``job`` now; the core must be idle.
+
+        ``on_complete(job)`` fires at the job's completion time.  If the
+        C-state ladder reached a deep state, its wake latency is paid
+        before execution starts.
+        """
+        if self._job is not None:
+            raise RuntimeError(f"core {self.core_id} is busy")
+        idle_duration = self.sim.now - self._segment_start
+        wake = self.cstates.wake_latency(idle_duration)
+        self._close_segment()
+        self._segment_busy = True
+        self._job = job
+        self._executed = 0.0
+        self._progress_mark = self.sim.now + wake
+        self._on_complete = on_complete
+        job.start_time = self.sim.now
+        job.dispatch_freq = self.freq
+        duration = wake + job.work / self.freq
+        self._completion = self.sim.schedule(duration, self._complete)
+
+    def _complete(self) -> None:
+        job = self._job
+        assert job is not None
+        self._close_segment()
+        self._segment_busy = False
+        self._executed = job.work
+        self._job = None
+        self._completion = None
+        job.finish_time = self.sim.now
+        self.jobs_completed += 1
+        callback = self._on_complete
+        self._on_complete = None
+        if callback is not None:
+            callback(job)
+
+    # ------------------------------------------------------------------
+    # DVFS
+    # ------------------------------------------------------------------
+    def set_frequency(self, freq_ghz: float) -> None:
+        """Change the core's P-state, possibly mid-job.
+
+        The remaining work of a running job is recomputed against the
+        new frequency and its completion event rescheduled.  A non-zero
+        ``transition_latency`` stalls the running job for that long.
+        """
+        if freq_ghz not in self.pstates:
+            raise ValueError(
+                f"{freq_ghz} GHz not in core {self.core_id}'s P-state table")
+        if abs(freq_ghz - self.freq) < 1e-12:
+            return
+        self._close_segment()
+        if self._job is not None:
+            # Bank progress made at the old frequency.
+            ran = max(0.0, self.sim.now - self._progress_mark)
+            self._executed = min(self._job.work, self._executed + ran * self.freq)
+            self._progress_mark = self.sim.now + self.transition_latency
+            remaining = max(0.0, self._job.work - self._executed)
+            assert self._completion is not None
+            self._completion.cancel()
+            self._completion = self.sim.schedule(
+                self.transition_latency + remaining / freq_ghz, self._complete)
+        self.freq = freq_ghz
+        self.freq_transitions += 1
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> None:
+        """Integrate energy/busy time since the last state change."""
+        duration = self.sim.now - self._segment_start
+        if duration > 0:
+            if self._segment_busy:
+                self.energy_joules += \
+                    self.power_model.active_power(self.freq) * duration
+                self.busy_seconds += duration
+            else:
+                self.energy_joules += self.cstates.idle_energy(
+                    self.power_model.idle_power(self.freq), duration)
+            self.freq_residency[self.freq] = \
+                self.freq_residency.get(self.freq, 0.0) + duration
+        self._segment_start = self.sim.now
+
+    def flush_accounting(self) -> None:
+        """Close the open accounting segment at the current time.
+
+        Call before reading :attr:`freq_residency` / :attr:`busy_seconds`
+        directly; :meth:`energy_at` and :meth:`busy_seconds_at` already
+        include the open segment.
+        """
+        self._close_segment()
+
+    def energy_at(self, now: float) -> float:
+        """Exact energy consumed up to ``now`` (J), including the open segment."""
+        duration = now - self._segment_start
+        if duration <= 0:
+            return self.energy_joules
+        if self._segment_busy:
+            partial = self.power_model.active_power(self.freq) * duration
+        else:
+            partial = self.cstates.idle_energy(
+                self.power_model.idle_power(self.freq), duration)
+        return self.energy_joules + partial
+
+    def busy_seconds_at(self, now: float) -> float:
+        """Cumulative busy time up to ``now`` (for governor utilization)."""
+        extra = 0.0
+        if self._segment_busy:
+            extra = max(0.0, now - self._segment_start)
+        return self.busy_seconds + extra
+
+    def current_power(self) -> float:
+        """Instantaneous draw right now (W), respecting the C-state ladder."""
+        if self._segment_busy:
+            return self.power_model.active_power(self.freq)
+        idle_for = self.sim.now - self._segment_start
+        segments = self.cstates.segments(idle_for) if idle_for > 0 else []
+        fraction = segments[-1][0].power_fraction if segments \
+            else self.cstates.ladder[0].power_fraction
+        return self.power_model.idle_power(self.freq) * fraction

@@ -1,0 +1,95 @@
+"""Model-specific register (MSR) file.
+
+The POLARIS prototype bypasses the ``cpufreq`` userspace governor and
+writes frequency targets straight into the per-core MSRs via the Linux
+MSR driver, because the sysfs path adds too much latency (paper
+Section 5, citing Wamhoff et al.).  This module reproduces that
+interface: a per-core register file where writing ``IA32_PERF_CTL``
+changes the core's P-state and reading ``MSR_PKG_ENERGY_STATUS``
+returns the RAPL energy accumulator.
+
+Register encodings follow the Intel SDM conventions the real driver
+uses:
+
+* ``IA32_PERF_CTL`` bits 15:8 hold the target ratio in units of the bus
+  clock (100 MHz), i.e. ratio 28 = 2.8 GHz.
+* ``MSR_PKG_ENERGY_STATUS`` is a 32-bit wrapping counter in energy
+  units of ``1 / 2**ESU`` joules, with ESU read from
+  ``MSR_RAPL_POWER_UNIT`` bits 12:8 (default 16 -> ~15.3 uJ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+IA32_PERF_STATUS = 0x198
+IA32_PERF_CTL = 0x199
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_ENERGY_STATUS = 0x611
+
+_BUS_CLOCK_GHZ = 0.1  # 100 MHz reference clock
+_DEFAULT_ESU = 16     # energy status unit exponent: 2^-16 J per count
+
+
+class MsrError(RuntimeError):
+    """Raised on access to an unsupported register or invalid encoding."""
+
+
+def encode_perf_ctl(freq_ghz: float) -> int:
+    """Encode a frequency as an IA32_PERF_CTL value (ratio in bits 15:8)."""
+    ratio = round(freq_ghz / _BUS_CLOCK_GHZ)
+    if not 1 <= ratio <= 0xFF:
+        raise MsrError(f"frequency {freq_ghz} GHz out of encodable range")
+    return ratio << 8
+
+
+def decode_perf_ctl(value: int) -> float:
+    """Decode an IA32_PERF_CTL value back to GHz."""
+    ratio = (value >> 8) & 0xFF
+    if ratio == 0:
+        raise MsrError(f"PERF_CTL value {value:#x} encodes ratio 0")
+    return round(ratio * _BUS_CLOCK_GHZ, 1)
+
+
+class MsrFile:
+    """Per-core MSR access, wired to a :class:`~repro.cpu.core.Core`.
+
+    ``rapl`` is optional; when provided, energy-status reads are served
+    from it (package-level, so all cores of a package return the same
+    counter, as on real hardware).
+    """
+
+    def __init__(self, core, rapl: Optional["object"] = None,
+                 esu_exponent: int = _DEFAULT_ESU):
+        self.core = core
+        self.rapl = rapl
+        self.esu_exponent = esu_exponent
+        self._scratch: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def write(self, address: int, value: int) -> None:
+        """``wrmsr``: only PERF_CTL is writable in this model."""
+        if address == IA32_PERF_CTL:
+            self.core.set_frequency(decode_perf_ctl(value))
+            self._scratch[address] = value
+        else:
+            raise MsrError(f"write to unsupported MSR {address:#x}")
+
+    def read(self, address: int) -> int:
+        """``rdmsr`` for the registers the prototype touches."""
+        if address == IA32_PERF_STATUS or address == IA32_PERF_CTL:
+            return encode_perf_ctl(self.core.freq)
+        if address == MSR_RAPL_POWER_UNIT:
+            return self.esu_exponent << 8
+        if address == MSR_PKG_ENERGY_STATUS:
+            if self.rapl is None:
+                raise MsrError("no RAPL package attached to this core")
+            joules = self.rapl.energy_joules(self.core.sim.now)
+            counts = int(joules * (1 << self.esu_exponent))
+            return counts & 0xFFFFFFFF  # 32-bit wrapping counter
+        raise MsrError(f"read of unsupported MSR {address:#x}")
+
+    def energy_unit_joules(self) -> float:
+        """Joules per energy-status count (from MSR_RAPL_POWER_UNIT)."""
+        esu = (self.read(MSR_RAPL_POWER_UNIT) >> 8) & 0x1F
+        return 1.0 / (1 << esu)

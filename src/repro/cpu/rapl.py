@@ -1,0 +1,82 @@
+"""Running Average Power Limit (RAPL) package energy counters.
+
+The paper reads CPU-only power through the RAPL MSRs as a secondary
+metric next to the wall meter (Section 6.1).  A :class:`RaplPackage`
+groups the cores of one socket and exposes their summed energy; the
+power-limiting side of RAPL (clamping frequency to hold a power cap) is
+also modelled, since Section 2 describes it as the hardware baseline
+POLARIS is contrasted with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class RaplPackage:
+    """Energy accounting (and optional power capping) for one socket."""
+
+    def __init__(self, package_id: int, cores: Sequence,
+                 uncore_watts: float = 0.0):
+        if not cores:
+            raise ValueError("a RAPL package needs at least one core")
+        self.package_id = package_id
+        self.cores: List = list(cores)
+        #: Constant uncore draw attributed to the package (LLC, memory
+        #: controller).  Kept at zero by default; the calibrated core
+        #: curves already fold uncore share into per-core idle power.
+        self.uncore_watts = uncore_watts
+        self._limit_watts: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def energy_joules(self, now: float) -> float:
+        """Package energy consumed up to virtual time ``now`` (J)."""
+        return self.uncore_watts * now + \
+            sum(core.energy_at(now) for core in self.cores)
+
+    def power_watts(self) -> float:
+        """Instantaneous package draw (W)."""
+        return self.uncore_watts + \
+            sum(core.current_power() for core in self.cores)
+
+    def average_power(self, t0: float, e0: float, t1: float) -> float:
+        """Mean power over ``[t0, t1]`` given the energy reading ``e0`` at
+        ``t0`` (how RAPL consumers compute power from the counter)."""
+        if t1 <= t0:
+            raise ValueError("interval must have positive length")
+        return (self.energy_joules(t1) - e0) / (t1 - t0)
+
+    # ------------------------------------------------------------------
+    # Power limiting (the in-hardware DVFS baseline of Section 2)
+    # ------------------------------------------------------------------
+    def set_power_limit(self, watts: Optional[float]) -> None:
+        """Install (or clear, with ``None``) a package power cap."""
+        if watts is not None and watts <= 0:
+            raise ValueError("power limit must be positive")
+        self._limit_watts = watts
+
+    @property
+    def power_limit(self) -> Optional[float]:
+        return self._limit_watts
+
+    def enforce_limit(self) -> None:
+        """Step cores down until the instantaneous draw is under the cap.
+
+        Real RAPL runs a hardware control loop; callers (e.g. a periodic
+        sampler in an experiment) invoke this at their chosen cadence.
+        """
+        if self._limit_watts is None:
+            return
+        guard = 0
+        while self.power_watts() > self._limit_watts and guard < 256:
+            stepped = False
+            for core in self.cores:
+                lower = core.pstates.step_down(core.freq)
+                if lower < core.freq:
+                    core.set_frequency(lower)
+                    stepped = True
+            if not stepped:
+                break
+            guard += 1

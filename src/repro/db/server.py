@@ -1,0 +1,367 @@
+"""The multi-worker database server (prototype architecture, Section 5).
+
+Reproduces Figure 5 of the paper:
+
+* **Request handler (RH) threads** accept incoming requests and route
+  them round-robin to worker queues, "regardless of the request's
+  transaction type or workload" (Section 6.1).  On arrival, the RH runs
+  the scheduler's SetProcessorFreq for the target worker's core.
+* **Workers**, one pinned to each core, execute requests from their
+  queue non-preemptively, start to finish.  On completion a worker
+  pulls the next request (earliest deadline under POLARIS) and runs
+  SetProcessorFreq before executing it.
+* Under the **OS-baseline** configurations, workers use Shore-MT's
+  default FIFO scheduling and never touch frequencies; an attached
+  governor (static or dynamic) controls each core instead.
+
+Frequency changes go through each core's MSR file, as the prototype's
+direct-MSR path does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.request import Request, RequestState
+from repro.core.routing import RoutingPolicy, make_routing
+from repro.cpu.core import Core, Job
+from repro.cpu.cstates import C1_ONLY, CStateModel, DEEP_LADDER
+from repro.cpu.msr import IA32_PERF_CTL, MsrFile, encode_perf_ctl
+from repro.cpu.power import CorePowerModel, ServerPowerModel
+from repro.cpu.pstates import POLARIS_FREQUENCIES, PStateTable, XEON_E5_2640V3_PSTATES
+from repro.cpu.rapl import RaplPackage
+from repro.db.queues import FifoQueue, RequestQueue
+from repro.db.storage.errors import Rollback
+from repro.sim.engine import Simulator
+
+
+class BaselineDispatcher:
+    """Shore-MT's default scheduler: FIFO queue, no frequency control."""
+
+    adjusts_on_arrival = False
+    name = "fifo-baseline"
+
+    def __init__(self):
+        self.queue: RequestQueue = FifoQueue()
+
+    def enqueue(self, request: Request) -> None:
+        self.queue.push(request)
+
+    def next_request(self) -> Optional[Request]:
+        return self.queue.pop()
+
+    def select_frequency(self, now: float, running: Optional[Request],
+                         running_elapsed: float = 0.0) -> Optional[float]:
+        return None  # the attached governor owns the frequency
+
+    def record_completion(self, request: Request) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+@dataclass
+class ServerConfig:
+    """Server shape and execution options.
+
+    The paper's testbed runs 16 workers; the default here is smaller so
+    tests and benches stay fast --- load levels are expressed relative
+    to peak throughput, so the comparison shape is preserved (see
+    DESIGN.md).
+    """
+
+    workers: int = 4
+    request_handlers: int = 2
+    #: Frequencies available to in-DBMS schedulers (the paper's five).
+    scheduler_frequencies: Tuple[float, ...] = POLARIS_FREQUENCIES
+    #: P-state grid of the cores (governors may use the full grid).
+    pstate_grid: Optional[PStateTable] = None
+    #: Execute transaction bodies against a real storage engine.
+    functional_execution: bool = False
+    #: DVFS transition stall (seconds); the paper's MSR path is sub-us.
+    transition_latency: float = 0.0
+    #: Request routing across workers: "rh-round-robin" reproduces the
+    #: prototype's per-RH rotation (Section 5); "round-robin",
+    #: "least-loaded", and "packing" come from repro.core.routing (the
+    #: Section 8 extension).
+    routing: str = "rh-round-robin"
+    #: Idle ladder: "c1" (the paper's effective setting) or "deep"
+    #: (C1/C3/C6 demotion, for the worker-parking extension).
+    cstate_ladder: str = "c1"
+
+    def grid(self) -> PStateTable:
+        return self.pstate_grid or XEON_E5_2640V3_PSTATES
+
+    def make_cstates(self) -> CStateModel:
+        if self.cstate_ladder == "c1":
+            return CStateModel(C1_ONLY)
+        if self.cstate_ladder == "deep":
+            return CStateModel(DEEP_LADDER)
+        raise ValueError(f"unknown C-state ladder {self.cstate_ladder!r}")
+
+
+class Worker:
+    """One worker thread pinned to one core."""
+
+    def __init__(self, worker_id: int, core: Core, msr: MsrFile,
+                 dispatcher, server: "DatabaseServer"):
+        self.worker_id = worker_id
+        self.core = core
+        self.msr = msr
+        self.dispatcher = dispatcher
+        self.server = server
+        self.current: Optional[Request] = None
+        self.completed = 0
+        self._transitions_at_dispatch = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+    def queue_length(self) -> int:
+        return len(self.dispatcher)
+
+    def _apply_frequency(self, freq_ghz: Optional[float]) -> None:
+        if freq_ghz is None:
+            return
+        if abs(freq_ghz - self.core.freq) > 1e-12:
+            self.msr.write(IA32_PERF_CTL, encode_perf_ctl(freq_ghz))
+
+    # ------------------------------------------------------------------
+    # Arrival path (run by a request-handler thread)
+    # ------------------------------------------------------------------
+    def accept(self, request: Request) -> None:
+        """Enqueue a routed request and run the arrival-path actions.
+
+        Admission control (if the dispatcher implements it) runs first:
+        a rejected request never enters the queue and is reported to the
+        server's rejection listeners.
+        """
+        admits = getattr(self.dispatcher, "admits", None)
+        if admits is not None and not admits(
+                self.server.sim.now, self.current,
+                self.core.running_elapsed(), request):
+            request.state = RequestState.REJECTED
+            self.server.notify_rejection(request)
+            return
+        self.dispatcher.enqueue(request)
+        if self.idle:
+            self._dispatch_next()
+        elif self.dispatcher.adjusts_on_arrival:
+            assert self.current is not None
+            freq = self.dispatcher.select_frequency(
+                self.server.sim.now, self.current,
+                self.core.running_elapsed())
+            self._apply_frequency(freq)
+
+    # ------------------------------------------------------------------
+    # Completion path (run by the worker itself)
+    # ------------------------------------------------------------------
+    def _dispatch_next(self) -> None:
+        request = self.dispatcher.next_request()
+        if request is None:
+            # Empty queue: SetProcessorFreq with no constraints selects
+            # the lowest frequency (Figure 2 with Q = {} and no t0), so
+            # an idling core drops to its floor operating point.
+            self._apply_frequency(
+                self.dispatcher.select_frequency(self.server.sim.now, None))
+            return
+        now = self.server.sim.now
+        # SetProcessorFreq before executing the dequeued request: the
+        # dequeued transaction is t0 with e0 = 0 (Section 5).
+        freq = self.dispatcher.select_frequency(now, request, 0.0)
+        self._apply_frequency(freq)
+        request.state = RequestState.RUNNING
+        request.dispatch_time = now
+        request.worker_id = self.worker_id
+        request.dispatch_freq = self.core.freq
+        self._transitions_at_dispatch = self.core.freq_transitions
+        self.current = request
+        if self.server.functional_executor is not None:
+            request.result = self.server.functional_executor(request)
+        self.core.start_job(Job(request.work, payload=request),
+                            self._on_complete)
+
+    def _on_complete(self, job: Job) -> None:
+        request = job.payload
+        assert request is self.current
+        request.state = RequestState.DONE
+        request.finish_time = self.server.sim.now
+        request.single_freq = \
+            self.core.freq_transitions == self._transitions_at_dispatch
+        self.current = None
+        self.completed += 1
+        self.dispatcher.record_completion(request)
+        self.server.notify_completion(request)
+        self._dispatch_next()
+
+
+class DatabaseServer:
+    """The simulated server: cores, workers, RH routing, power accounting.
+
+    ``scheduler_factory`` builds one in-DBMS scheduler per worker (e.g.
+    ``lambda: PolarisScheduler(freqs, shared_estimator)``); passing
+    ``None`` installs the FIFO baseline dispatcher, leaving frequency
+    control to whatever governor the experiment attaches.
+    """
+
+    def __init__(self, sim: Simulator, config: ServerConfig,
+                 scheduler_factory: Optional[Callable[[], object]] = None,
+                 power_model: Optional[CorePowerModel] = None,
+                 initial_freq: Optional[float] = None):
+        if config.workers < 1:
+            raise ValueError("need at least one worker")
+        if config.request_handlers < 1:
+            raise ValueError("need at least one request handler")
+        self.sim = sim
+        self.config = config
+        self.power_model = power_model or CorePowerModel()
+        self.server_power = ServerPowerModel()
+        grid = config.grid()
+        if scheduler_factory is not None:
+            # In-DBMS schedulers drive the restricted frequency set.
+            core_table = grid.subset(config.scheduler_frequencies)
+        else:
+            core_table = grid
+
+        self.cores: List[Core] = []
+        self.workers: List[Worker] = []
+        if initial_freq is not None:
+            start_freq = initial_freq
+        elif scheduler_factory is not None:
+            # In-DBMS schedulers explore from the lowest frequency
+            # (Section 6.1) and raise cores on demand; cores that never
+            # receive work (e.g. parked by the packing router) stay at
+            # the floor operating point.
+            start_freq = core_table.min_freq
+        else:
+            start_freq = core_table.max_freq
+        for worker_id in range(config.workers):
+            core = Core(sim, worker_id, core_table,
+                        power_model=self.power_model,
+                        cstates=config.make_cstates(),
+                        transition_latency=config.transition_latency,
+                        initial_freq=start_freq)
+            self.cores.append(core)
+        # One RAPL package per 8 cores (two sockets on the testbed).
+        self.packages: List[RaplPackage] = []
+        for pkg_id in range(0, config.workers, 8):
+            self.packages.append(
+                RaplPackage(pkg_id // 8, self.cores[pkg_id:pkg_id + 8]))
+        package_of = {c.core_id: self.packages[c.core_id // 8]
+                      for c in self.cores}
+        for worker_id, core in enumerate(self.cores):
+            dispatcher = scheduler_factory() if scheduler_factory \
+                else BaselineDispatcher()
+            msr = MsrFile(core, rapl=package_of[core.core_id])
+            self.workers.append(Worker(worker_id, core, msr, dispatcher,
+                                       self))
+
+        self._rh_pointers = [rh % config.workers
+                             for rh in range(config.request_handlers)]
+        self._next_rh = 0
+        self._routing: Optional[RoutingPolicy] = None
+        if config.routing != "rh-round-robin":
+            self._routing = make_routing(config.routing)
+        self._completion_listeners: List[Callable[[Request], None]] = []
+        self._rejection_listeners: List[Callable[[Request], None]] = []
+        self.functional_executor: Optional[Callable[[Request], object]] = None
+        self.submitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Routing (the RH threads)
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Accept a request as if it arrived from a client.
+
+        One RH thread handles it (they alternate) and routes it to the
+        next worker in that RH's round-robin order.
+        """
+        if self._routing is not None:
+            worker_index = self._routing.choose_worker(
+                self.workers, request, self.sim.now)
+        else:
+            rh = self._next_rh
+            self._next_rh = (rh + 1) % self.config.request_handlers
+            worker_index = self._rh_pointers[rh]
+            self._rh_pointers[rh] = \
+                (worker_index + self.config.request_handlers) \
+                % self.config.workers
+        self.submitted += 1
+        self.workers[worker_index].accept(request)
+
+    # ------------------------------------------------------------------
+    # Completion fan-out
+    # ------------------------------------------------------------------
+    def add_completion_listener(self,
+                                listener: Callable[[Request], None]) -> None:
+        self._completion_listeners.append(listener)
+
+    def add_rejection_listener(self,
+                               listener: Callable[[Request], None]) -> None:
+        self._rejection_listeners.append(listener)
+
+    def notify_completion(self, request: Request) -> None:
+        for listener in self._completion_listeners:
+            listener(request)
+
+    def notify_rejection(self, request: Request) -> None:
+        self.rejected += 1
+        for listener in self._rejection_listeners:
+            listener(request)
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def attach_functional(self, database, bodies: Dict[str, Callable],
+                          config, rng: random.Random) -> None:
+        """Execute real transaction bodies at dispatch time.
+
+        The body runs against the storage engine when the request is
+        dispatched; its simulated *duration* still comes from the
+        request's drawn work.  TPC-C's 1% New Order rollback surfaces as
+        a caught :class:`Rollback` (the transaction aborts cleanly).
+        """
+        def executor(request: Request):
+            body = bodies.get(request.txn_type)
+            if body is None:
+                return None
+            try:
+                return body(database, rng, config, now=self.sim.now)
+            except Rollback:
+                return {"rolled_back": True}
+
+        self.functional_executor = executor
+
+    # ------------------------------------------------------------------
+    # Power / state summaries
+    # ------------------------------------------------------------------
+    def wall_power(self) -> float:
+        """Instantaneous whole-server draw (W)."""
+        return self.server_power.wall_power(self.cores)
+
+    def wall_energy(self) -> float:
+        """Whole-server energy consumed so far (J)."""
+        return self.server_power.wall_energy(self.cores, self.sim.now)
+
+    def cpu_energy(self) -> float:
+        """CPU-only energy (the RAPL view), in joules."""
+        return sum(pkg.energy_joules(self.sim.now) for pkg in self.packages)
+
+    def total_queue_length(self) -> int:
+        return sum(w.queue_length() for w in self.workers)
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Run the simulation until all queues empty (for tests)."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            busy = any(not w.idle for w in self.workers)
+            if not busy and self.total_queue_length() == 0:
+                return
+            if not self.sim.step():
+                return

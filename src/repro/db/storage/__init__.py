@@ -1,0 +1,32 @@
+"""In-memory storage manager.
+
+A compact but real storage engine: schema-checked tables, unique and
+non-unique secondary indexes (hash or B+-tree), strict two-phase row
+locking with no-wait conflict resolution, undo-based aborts, and a
+write-ahead log with the staged group commit policy the paper's
+Shore-MT configuration uses ("log I/O is forced at least once per 100
+transactions", Section 6.1).
+
+The engine is *functionally* exercised by the TPC-C / TPC-E transaction
+implementations; simulated execution *time* comes from the calibrated
+service-time model instead (see DESIGN.md, "Functional + timed
+execution").
+"""
+
+from repro.db.storage.errors import (
+    DuplicateKeyError, LockConflictError, NoSuchRowError, NoSuchTableError,
+    SchemaError, StorageError, TransactionAborted,
+)
+from repro.db.storage.btree import BPlusTree
+from repro.db.storage.locks import LockManager, LockMode
+from repro.db.storage.log import LogManager, LogRecord
+from repro.db.storage.table import Table
+from repro.db.storage.transaction import Transaction
+from repro.db.storage.database import Database
+
+__all__ = [
+    "BPlusTree", "Database", "DuplicateKeyError", "LockConflictError",
+    "LockManager", "LockMode", "LogManager", "LogRecord", "NoSuchRowError",
+    "NoSuchTableError", "SchemaError", "StorageError", "Table",
+    "Transaction", "TransactionAborted",
+]

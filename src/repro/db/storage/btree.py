@@ -1,0 +1,363 @@
+"""In-memory B+-tree.
+
+Ordered index structure backing the storage engine's range scans (TPC-C
+Stock Level and Order Status walk ranges of composite keys).  Keys are
+arbitrary comparable Python values --- the index layer uses tuples ---
+and map to a single value each; non-unique indexes are expressed by the
+caller through composite ``(key, discriminator)`` keys.
+
+Standard algorithm: leaves hold (key, value) pairs and are linked for
+range scans; internal nodes hold separator keys.  Nodes split when they
+exceed ``order`` keys and rebalance (borrow from a sibling, else merge)
+when they fall below ``order // 2``.  ``check_invariants`` verifies the
+structural invariants and is exercised by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+DEFAULT_ORDER = 32
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self):
+        self.keys: List[Any] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__()
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__()
+        self.children: List[_Node] = []
+
+
+class BPlusTree:
+    """Map with ordered iteration, backed by a B+-tree.
+
+    >>> tree = BPlusTree()
+    >>> tree.insert(2, "b") and tree.insert(1, "a")
+    True
+    >>> list(tree.items())
+    [(1, 'a'), (2, 'b')]
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self.order = order
+        self._min_keys = order // 2
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        assert isinstance(node, _Leaf)
+        return node
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored at ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def min_key(self) -> Any:
+        """Smallest key (raises ``KeyError`` on an empty tree)."""
+        if self._size == 0:
+            raise KeyError("empty tree")
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key (raises ``KeyError`` on an empty tree)."""
+        if self._size == 0:
+            raise KeyError("empty tree")
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any, replace: bool = True) -> bool:
+        """Insert ``key -> value``.
+
+        Returns ``True`` if a new key was added, ``False`` if an existing
+        key was overwritten (or left alone when ``replace=False``).
+        """
+        split = self._insert(self._root, key, value, replace)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        return self._last_insert_was_new
+
+    def _insert(self, node: _Node, key: Any, value: Any,
+                replace: bool) -> Optional[Tuple[Any, _Node]]:
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if replace:
+                    node.values[idx] = value
+                self._last_insert_was_new = False
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            self._last_insert_was_new = True
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+
+        assert isinstance(node, _Internal)
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value, replace)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[Any, _Internal]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns ``True`` if it was present."""
+        removed = self._delete(self._root, key)
+        if isinstance(self._root, _Internal) and len(self._root.keys) == 0:
+            self._root = self._root.children[0]
+        return removed
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._size -= 1
+            return True
+
+        assert isinstance(node, _Internal)
+        idx = bisect.bisect_right(node.keys, key)
+        child = node.children[idx]
+        removed = self._delete(child, key)
+        if removed and self._underflowed(child):
+            self._rebalance(node, idx)
+        return removed
+
+    def _underflowed(self, node: _Node) -> bool:
+        if node is self._root:
+            return False
+        return len(node.keys) < self._min_keys
+
+    def _rebalance(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) \
+            else None
+
+        # Try borrowing from a richer sibling first.
+        if left is not None and len(left.keys) > self._min_keys:
+            self._borrow_from_left(parent, idx, left, child)
+            return
+        if right is not None and len(right.keys) > self._min_keys:
+            self._borrow_from_right(parent, idx, child, right)
+            return
+        # Merge with a sibling.
+        if left is not None:
+            self._merge(parent, idx - 1, left, child)
+        else:
+            assert right is not None
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(self, parent: _Internal, idx: int,
+                          left: _Node, child: _Node) -> None:
+        if isinstance(child, _Leaf):
+            assert isinstance(left, _Leaf)
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            assert isinstance(left, _Internal) and isinstance(child, _Internal)
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: _Internal, idx: int,
+                           child: _Node, right: _Node) -> None:
+        if isinstance(child, _Leaf):
+            assert isinstance(right, _Leaf)
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            assert isinstance(right, _Internal) and isinstance(child, _Internal)
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: _Internal, left_idx: int,
+               left: _Node, right: _Node) -> None:
+        """Fold ``right`` into ``left``; ``left_idx`` is the separator index."""
+        if isinstance(left, _Leaf):
+            assert isinstance(right, _Leaf)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            assert isinstance(left, _Internal) and isinstance(right, _Internal)
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def items(self, low: Any = None, high: Any = None,
+              inclusive: Tuple[bool, bool] = (True, True)
+              ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in ``[low, high]`` in key order.
+
+        ``low``/``high`` of ``None`` mean unbounded; ``inclusive``
+        controls each endpoint.
+        """
+        if self._size == 0:
+            return
+        if low is None:
+            node: Optional[_Leaf] = self._leftmost_leaf()
+            idx = 0
+        else:
+            node = self._find_leaf(low)
+            if inclusive[0]:
+                idx = bisect.bisect_left(node.keys, low)
+            else:
+                idx = bisect.bisect_right(node.keys, low)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high is not None:
+                    if inclusive[1]:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, node.values[idx]
+                idx += 1
+            node = node.next
+            idx = 0
+
+    def keys(self, low: Any = None, high: Any = None) -> Iterator[Any]:
+        for key, _value in self.items(low, high):
+            yield key
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        assert isinstance(node, _Leaf)
+        return node
+
+    # ------------------------------------------------------------------
+    # Validation (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises ``AssertionError`` if broken."""
+        leaf_depths = set()
+        count = self._check_node(self._root, None, None, 0, leaf_depths)
+        assert count == self._size, f"size {self._size} != counted {count}"
+        assert len(leaf_depths) <= 1, f"uneven leaf depths: {leaf_depths}"
+        # Leaf chain must be the full sorted key sequence.
+        chained = [k for k, _ in self.items()]
+        assert chained == sorted(chained), "leaf chain out of order"
+        assert len(chained) == self._size
+
+    def _check_node(self, node: _Node, low: Any, high: Any, depth: int,
+                    leaf_depths: set) -> int:
+        assert node.keys == sorted(node.keys), "unsorted node keys"
+        for key in node.keys:
+            if low is not None:
+                assert key >= low, f"key {key} < lower bound {low}"
+            if high is not None:
+                assert key < high, f"key {key} >= upper bound {high}"
+        if node is not self._root:
+            assert len(node.keys) >= self._min_keys, "underfull node"
+        assert len(node.keys) <= self.order, "overfull node"
+        if isinstance(node, _Leaf):
+            leaf_depths.add(depth)
+            assert len(node.keys) == len(node.values)
+            return len(node.keys)
+        assert isinstance(node, _Internal)
+        assert len(node.children) == len(node.keys) + 1
+        total = 0
+        bounds = [low] + list(node.keys) + [high]
+        for i, child in enumerate(node.children):
+            total += self._check_node(child, bounds[i], bounds[i + 1],
+                                      depth + 1, leaf_depths)
+        return total
+
+
+class _Missing:
+    def __repr__(self):  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,47 @@
+"""Storage-engine exception hierarchy."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for all storage-engine errors."""
+
+
+class SchemaError(StorageError):
+    """Schema violation: unknown column, missing primary-key value, ..."""
+
+
+class NoSuchTableError(StorageError):
+    """Referenced table does not exist."""
+
+
+class NoSuchRowError(StorageError):
+    """Point lookup or update referenced a missing primary key."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert would violate a primary-key or unique-index constraint."""
+
+
+class LockConflictError(StorageError):
+    """Lock request conflicts with a lock held by another transaction.
+
+    The engine uses no-wait conflict resolution: the requester aborts
+    rather than blocking, which (with single-threaded workers executing
+    transactions to completion) can only arise from misuse or from the
+    dedicated concurrency unit tests.
+    """
+
+
+class TransactionAborted(StorageError):
+    """Operation attempted on a transaction that already aborted/committed."""
+
+
+class Rollback(Exception):
+    """Raised by a transaction body to request a clean abort.
+
+    Deliberately *not* a :class:`StorageError`: it signals
+    application-level rollback (e.g. the TPC-C 1% New Order unused-item
+    rollback), which the transaction context manager translates into an
+    abort and the server layer treats as a normal completion.
+    """

@@ -1,0 +1,306 @@
+"""Schema-checked in-memory tables with secondary indexes.
+
+A :class:`Table` stores rows (dicts) keyed by a tuple primary key, with
+optional unique/non-unique secondary indexes backed by a hash map or a
+B+-tree.  Tables expose *raw* physical operations; transactional
+semantics (locking, logging, undo) are layered on top by
+:class:`repro.db.storage.transaction.Transaction`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.storage.btree import BPlusTree
+from repro.db.storage.errors import (
+    DuplicateKeyError, NoSuchRowError, SchemaError,
+)
+
+Row = Dict[str, Any]
+Key = Tuple[Hashable, ...]
+
+
+class _Index:
+    """One secondary index definition plus its physical structure."""
+
+    def __init__(self, name: str, columns: Tuple[str, ...], unique: bool,
+                 ordered: bool):
+        self.name = name
+        self.columns = columns
+        self.unique = unique
+        self.ordered = ordered
+        if ordered:
+            self.tree: Optional[BPlusTree] = BPlusTree()
+            self.map: Optional[Dict[Key, Any]] = None
+        else:
+            self.tree = None
+            self.map = {}
+
+    # -- maintenance ----------------------------------------------------
+    def key_of(self, row: Row) -> Key:
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, row: Row, pk: Key) -> None:
+        key = self.key_of(row)
+        if self.unique:
+            if self.ordered:
+                assert self.tree is not None
+                if key in self.tree:
+                    raise DuplicateKeyError(
+                        f"unique index {self.name}: duplicate {key}")
+                self.tree.insert(key, pk)
+            else:
+                assert self.map is not None
+                if key in self.map:
+                    raise DuplicateKeyError(
+                        f"unique index {self.name}: duplicate {key}")
+                self.map[key] = pk
+        else:
+            if self.ordered:
+                assert self.tree is not None
+                self.tree.insert((key, pk), pk)
+            else:
+                assert self.map is not None
+                self.map.setdefault(key, set()).add(pk)
+
+    def remove(self, row: Row, pk: Key) -> None:
+        key = self.key_of(row)
+        if self.unique:
+            if self.ordered:
+                assert self.tree is not None
+                self.tree.delete(key)
+            else:
+                assert self.map is not None
+                self.map.pop(key, None)
+        else:
+            if self.ordered:
+                assert self.tree is not None
+                self.tree.delete((key, pk))
+            else:
+                assert self.map is not None
+                pks = self.map.get(key)
+                if pks is not None:
+                    pks.discard(pk)
+                    if not pks:
+                        del self.map[key]
+
+    # -- lookup -----------------------------------------------------------
+    def lookup(self, key: Key) -> List[Key]:
+        """Primary keys matching an exact index key."""
+        if self.unique:
+            if self.ordered:
+                assert self.tree is not None
+                pk = self.tree.get(key)
+            else:
+                assert self.map is not None
+                pk = self.map.get(key)
+            return [pk] if pk is not None else []
+        if self.ordered:
+            assert self.tree is not None
+            matches = []
+            for composite, pk in self.tree.items((key, ()), None):
+                if composite[0] != key:
+                    break
+                matches.append(pk)
+            return matches
+        assert self.map is not None
+        return sorted(self.map.get(key, ()))
+
+    def range(self, low: Optional[Key], high: Optional[Key],
+              inclusive: Tuple[bool, bool] = (True, True)) -> Iterator[Key]:
+        """Primary keys with index key in [low, high], in key order."""
+        if not self.ordered:
+            raise SchemaError(f"index {self.name} is not ordered")
+        assert self.tree is not None
+        if self.unique:
+            for _key, pk in self.tree.items(low, high, inclusive):
+                yield pk
+            return
+        # Composite (key, pk) entries: translate the bounds.
+        lo = (low, ()) if low is not None else None
+        for composite, pk in self.tree.items(lo, None):
+            key = composite[0]
+            if low is not None:
+                if inclusive[0]:
+                    if key < low:
+                        continue
+                elif key <= low:
+                    continue
+            if high is not None:
+                if inclusive[1]:
+                    if key > high:
+                        return
+                elif key >= high:
+                    return
+            yield pk
+
+
+class Table:
+    """One in-memory table.
+
+    >>> table = Table("item", ("i_id", "i_name", "i_price"), ("i_id",))
+    >>> table.insert({"i_id": 1, "i_name": "widget", "i_price": 9.99})
+    >>> table.get((1,))["i_name"]
+    'widget'
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 primary_key: Sequence[str]):
+        if not columns:
+            raise SchemaError("table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate columns in {name}")
+        missing = [c for c in primary_key if c not in columns]
+        if missing or not primary_key:
+            raise SchemaError(
+                f"primary key columns {missing or primary_key} invalid")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        self._rows: Dict[Key, Row] = {}
+        self._indexes: Dict[str, _Index] = {}
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str],
+                     unique: bool = False, ordered: bool = False) -> None:
+        """Add a secondary index (and backfill it from existing rows)."""
+        if name in self._indexes:
+            raise SchemaError(f"index {name} already exists on {self.name}")
+        bad = [c for c in columns if c not in self.columns]
+        if bad:
+            raise SchemaError(f"index {name}: unknown columns {bad}")
+        index = _Index(name, tuple(columns), unique, ordered)
+        for pk, row in self._rows.items():
+            index.add(row, pk)
+        self._indexes[name] = index
+
+    def pk_of(self, row: Row) -> Key:
+        """Extract the primary-key tuple from a row."""
+        try:
+            return tuple(row[c] for c in self.primary_key)
+        except KeyError as exc:
+            raise SchemaError(
+                f"{self.name}: row missing primary key column {exc}") from exc
+
+    def _check_columns(self, row: Row) -> None:
+        unknown = [c for c in row if c not in self.columns]
+        if unknown:
+            raise SchemaError(f"{self.name}: unknown columns {unknown}")
+
+    # ------------------------------------------------------------------
+    # Physical operations (no locking/logging; see Transaction)
+    # ------------------------------------------------------------------
+    def insert(self, row: Row) -> Key:
+        """Insert a full row; returns its primary key."""
+        self._check_columns(row)
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise SchemaError(f"{self.name}: insert missing columns {missing}")
+        pk = self.pk_of(row)
+        if pk in self._rows:
+            raise DuplicateKeyError(f"{self.name}: duplicate primary key {pk}")
+        stored = dict(row)
+        # Maintain indexes first so a unique violation leaves no trace.
+        added: List[_Index] = []
+        try:
+            for index in self._indexes.values():
+                index.add(stored, pk)
+                added.append(index)
+        except DuplicateKeyError:
+            for index in added:
+                index.remove(stored, pk)
+            raise
+        self._rows[pk] = stored
+        return pk
+
+    def get(self, pk: Key) -> Row:
+        """Read a row by primary key (a copy; mutations don't leak back)."""
+        row = self._rows.get(tuple(pk))
+        if row is None:
+            raise NoSuchRowError(f"{self.name}: no row with pk {pk}")
+        return dict(row)
+
+    def get_or_none(self, pk: Key) -> Optional[Row]:
+        row = self._rows.get(tuple(pk))
+        return dict(row) if row is not None else None
+
+    def update(self, pk: Key, changes: Row) -> Tuple[Row, Row]:
+        """Apply ``changes`` to the row at ``pk``.
+
+        Returns ``(before, after)`` images.  Primary-key columns cannot
+        be changed.
+        """
+        self._check_columns(changes)
+        pk = tuple(pk)
+        row = self._rows.get(pk)
+        if row is None:
+            raise NoSuchRowError(f"{self.name}: no row with pk {pk}")
+        for col in self.primary_key:
+            if col in changes and changes[col] != row[col]:
+                raise SchemaError(
+                    f"{self.name}: cannot change primary key column {col}")
+        before = dict(row)
+        after = dict(row)
+        after.update(changes)
+        for index in self._indexes.values():
+            if index.key_of(before) != index.key_of(after):
+                index.remove(before, pk)
+                index.add(after, pk)
+        self._rows[pk] = after
+        return before, dict(after)
+
+    def delete(self, pk: Key) -> Row:
+        """Delete the row at ``pk``; returns the before image."""
+        pk = tuple(pk)
+        row = self._rows.pop(pk, None)
+        if row is None:
+            raise NoSuchRowError(f"{self.name}: no row with pk {pk}")
+        for index in self._indexes.values():
+            index.remove(row, pk)
+        return row
+
+    def restore(self, row: Row) -> None:
+        """Reinstate a previously deleted row (undo path)."""
+        pk = self.pk_of(row)
+        if pk in self._rows:
+            raise DuplicateKeyError(f"{self.name}: restore clash on {pk}")
+        stored = dict(row)
+        self._rows[pk] = stored
+        for index in self._indexes.values():
+            index.add(stored, pk)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lookup(self, index_name: str, key: Key) -> List[Row]:
+        """Rows whose index key equals ``key`` exactly."""
+        index = self._index(index_name)
+        return [dict(self._rows[pk]) for pk in index.lookup(tuple(key))]
+
+    def range_scan(self, index_name: str, low: Optional[Key],
+                   high: Optional[Key],
+                   inclusive: Tuple[bool, bool] = (True, True)
+                   ) -> Iterator[Row]:
+        """Rows with index key in [low, high], in index order."""
+        index = self._index(index_name)
+        for pk in index.range(low, high, inclusive):
+            yield dict(self._rows[pk])
+
+    def scan_all(self) -> Iterator[Row]:
+        """Full scan in unspecified order (copies)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def _index(self, name: str) -> _Index:
+        index = self._indexes.get(name)
+        if index is None:
+            raise SchemaError(f"{self.name}: no index named {name}")
+        return index
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pk: Key) -> bool:
+        return tuple(pk) in self._rows

@@ -1,0 +1,180 @@
+"""Transactional layer: strict 2PL + WAL + undo-based abort.
+
+A :class:`Transaction` wraps the physical table operations with:
+
+* lock acquisition (S for reads, X for writes) through the database's
+  :class:`~repro.db.storage.locks.LockManager`;
+* write-ahead logging of every modification before it is applied;
+* an in-memory undo list so :meth:`abort` restores the pre-transaction
+  state exactly (verified by the atomicity property tests).
+
+Locks are held to commit/abort (strict 2PL), so schedules are
+serializable and recoverable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.db.storage import log as wal
+from repro.db.storage.errors import TransactionAborted
+from repro.db.storage.locks import LockMode
+from repro.db.storage.table import Key, Row
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work against a :class:`~repro.db.storage.database.Database`."""
+
+    def __init__(self, database, txn_id: int):
+        self._db = database
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        # Undo entries, applied in reverse on abort:
+        #   ("insert", table, pk)           -> delete pk
+        #   ("update", table, pk, before)   -> restore before image
+        #   ("delete", table, before_row)   -> reinsert row
+        self._undo: List[Tuple] = []
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                f"txn {self.txn_id} is {self.state.value}")
+
+    def _lock(self, table: str, pk: Key, mode: LockMode) -> None:
+        self._db.locks.acquire(self.txn_id, table, tuple(pk), mode)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, table: str, pk: Key, for_update: bool = False) -> Row:
+        """Point read; takes an S lock (X with ``for_update``)."""
+        self._require_active()
+        mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+        self._lock(table, pk, mode)
+        self.reads += 1
+        return self._db.table(table).get(pk)
+
+    def get_or_none(self, table: str, pk: Key,
+                    for_update: bool = False) -> Optional[Row]:
+        """Point read returning ``None`` for a missing row."""
+        self._require_active()
+        mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+        self._lock(table, pk, mode)
+        self.reads += 1
+        return self._db.table(table).get_or_none(pk)
+
+    def lookup(self, table: str, index: str, key: Key) -> List[Row]:
+        """Exact-match secondary-index read; S-locks every returned row."""
+        self._require_active()
+        tbl = self._db.table(table)
+        rows = tbl.lookup(index, key)
+        for row in rows:
+            self._lock(table, tbl.pk_of(row), LockMode.SHARED)
+        self.reads += len(rows)
+        return rows
+
+    def range_scan(self, table: str, index: str, low: Optional[Key],
+                   high: Optional[Key],
+                   inclusive: Tuple[bool, bool] = (True, True)
+                   ) -> Iterator[Row]:
+        """Ordered range read; S-locks each row as it is yielded."""
+        self._require_active()
+        tbl = self._db.table(table)
+        for row in tbl.range_scan(index, low, high, inclusive):
+            self._lock(table, tbl.pk_of(row), LockMode.SHARED)
+            self.reads += 1
+            yield row
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Row) -> Key:
+        """Insert a row (X lock, WAL record, undo entry)."""
+        self._require_active()
+        tbl = self._db.table(table)
+        pk = tbl.pk_of(row)
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        # Apply before logging: a failed insert (duplicate key) must not
+        # leave a phantom record that redo would replay on commit.
+        tbl.insert(row)
+        self._db.log.append(self.txn_id, wal.KIND_INSERT, table, pk,
+                            after=row)
+        self._undo.append(("insert", table, pk))
+        self.writes += 1
+        return pk
+
+    def update(self, table: str, pk: Key, changes: Dict[str, Any]) -> Row:
+        """Update columns of the row at ``pk``; returns the after image."""
+        self._require_active()
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        before, after = self._db.table(table).update(pk, changes)
+        self._db.log.append(self.txn_id, wal.KIND_UPDATE, table, tuple(pk),
+                            before=before, after=after)
+        self._undo.append(("update", table, tuple(pk), before))
+        self.writes += 1
+        return after
+
+    def delete(self, table: str, pk: Key) -> Row:
+        """Delete the row at ``pk``; returns the before image."""
+        self._require_active()
+        self._lock(table, pk, LockMode.EXCLUSIVE)
+        before = self._db.table(table).delete(pk)
+        self._db.log.append(self.txn_id, wal.KIND_DELETE, table, tuple(pk),
+                            before=before)
+        self._undo.append(("delete", table, before))
+        self.writes += 1
+        return before
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Log COMMIT (group-committed) and release all locks."""
+        self._require_active()
+        self._db.log.append(self.txn_id, wal.KIND_COMMIT)
+        self._db.locks.release_all(self.txn_id)
+        self.state = TxnState.COMMITTED
+
+    def abort(self) -> None:
+        """Undo every modification in reverse order, then release locks."""
+        self._require_active()
+        for entry in reversed(self._undo):
+            kind = entry[0]
+            tbl = self._db.table(entry[1])
+            if kind == "insert":
+                tbl.delete(entry[2])
+            elif kind == "update":
+                # Restore by overwriting with the before image.
+                pk, before = entry[2], entry[3]
+                current = tbl.get(pk)
+                revert = {c: before[c] for c in before
+                          if before[c] != current.get(c)}
+                if revert:
+                    tbl.update(pk, revert)
+            elif kind == "delete":
+                tbl.restore(entry[2])
+        self._db.log.append(self.txn_id, wal.KIND_ABORT)
+        self._db.locks.release_all(self.txn_id)
+        self.state = TxnState.ABORTED
+
+    # Context-manager protocol: commit on success, abort on exception.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False

@@ -1,0 +1,70 @@
+"""The Linux ``conservative`` dynamic governor.
+
+Decision rule (faithful to ``drivers/cpufreq/cpufreq_conservative.c``):
+
+* keep an internal ``requested_freq``;
+* if the sampled load exceeds ``up_threshold`` (default 80%), raise
+  ``requested_freq`` by ``freq_step`` (default 5% of max frequency);
+* if the load falls below ``down_threshold`` (default 20%), lower it by
+  the same step;
+* between the thresholds, leave the frequency alone.
+
+That dead zone is why the paper observes Conservative "rarely lowers
+frequency below 2.8 GHz" at medium load (utilization sits between the
+thresholds, so the governor never moves off its starting point) yet
+drifts all the way down --- saving as much power as POLARIS but missing
+deadlines --- at low load, where enough sampling windows dip under the
+down threshold (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.governors.base import DEFAULT_SAMPLING_PERIOD, DynamicGovernor
+
+DEFAULT_UP_THRESHOLD = 80.0
+DEFAULT_DOWN_THRESHOLD = 20.0
+#: Kernel default freq_step is 5 (percent of max frequency).
+DEFAULT_FREQ_STEP_PERCENT = 5.0
+
+
+class ConservativeGovernor(DynamicGovernor):
+    """Gradual stepping between utilization thresholds."""
+
+    name = "conservative"
+
+    def __init__(self, sampling_period: float = DEFAULT_SAMPLING_PERIOD,
+                 up_threshold: float = DEFAULT_UP_THRESHOLD,
+                 down_threshold: float = DEFAULT_DOWN_THRESHOLD,
+                 freq_step_percent: float = DEFAULT_FREQ_STEP_PERCENT):
+        super().__init__(sampling_period)
+        if not 0 <= down_threshold < up_threshold <= 100:
+            raise ValueError(
+                "need 0 <= down_threshold < up_threshold <= 100")
+        if freq_step_percent <= 0:
+            raise ValueError("freq_step_percent must be positive")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.freq_step_percent = freq_step_percent
+        self._requested: Optional[float] = None
+
+    def on_attach(self) -> None:
+        assert self.core is not None
+        self._requested = self.core.freq
+        super().on_attach()
+
+    def target_frequency(self, utilization: float) -> Optional[float]:
+        assert self.core is not None
+        table = self.core.pstates
+        if self._requested is None:
+            self._requested = self.core.freq
+        step = self.freq_step_percent / 100.0 * table.max_freq
+        load = utilization * 100.0
+        if load > self.up_threshold:
+            self._requested = min(self._requested + step, table.max_freq)
+        elif load < self.down_threshold:
+            self._requested = max(self._requested - step, table.min_freq)
+        else:
+            return None
+        return table.nearest_at_least(self._requested)

@@ -1,0 +1,46 @@
+"""The Linux ``ondemand`` dynamic governor.
+
+Decision rule (faithful to ``drivers/cpufreq/cpufreq_ondemand.c`` of the
+paper-era kernels):
+
+* if the sampled load exceeds ``up_threshold`` (default 95%), jump
+  straight to the maximum frequency;
+* otherwise set ``freq_next = load * max_freq`` and map it onto the
+  grid with relation *L* (lowest grid frequency at or above the target).
+
+The paper characterizes OnDemand as the governor that "adjusts core
+frequencies more aggressively to save power" (Section 6.2): under
+partial load it repeatedly scales down proportionally, saving power at
+the cost of more missed latency targets when slack is tight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.governors.base import DEFAULT_SAMPLING_PERIOD, DynamicGovernor
+
+#: Kernel default for ondemand's up_threshold (percent).
+DEFAULT_UP_THRESHOLD = 95.0
+
+
+class OnDemandGovernor(DynamicGovernor):
+    """Proportional scale-down with jump-to-max above ``up_threshold``."""
+
+    name = "ondemand"
+
+    def __init__(self, sampling_period: float = DEFAULT_SAMPLING_PERIOD,
+                 up_threshold: float = DEFAULT_UP_THRESHOLD):
+        super().__init__(sampling_period)
+        if not 0 < up_threshold <= 100:
+            raise ValueError("up_threshold must be in (0, 100]")
+        self.up_threshold = up_threshold
+
+    def target_frequency(self, utilization: float) -> Optional[float]:
+        assert self.core is not None
+        table = self.core.pstates
+        if utilization * 100.0 > self.up_threshold:
+            return table.max_freq
+        # freq_next = load * max_freq / 100, relation L.
+        target = utilization * table.max_freq
+        return table.nearest_at_least(max(target, table.min_freq))

@@ -1,0 +1,22 @@
+"""Experiment harness: the paper's methodology as a library.
+
+:mod:`repro.harness.experiment` runs one experimental configuration ---
+(benchmark, frequency-control scheme, load level, slack) --- through the
+paper's three phases (warmup, estimator training, measured test phase)
+and returns the metrics the paper reports: average wall power over the
+test phase and failure rates overall and per workload.
+
+:mod:`repro.harness.figures` maps each table/figure of the paper's
+evaluation section onto a function that regenerates it; the benchmark
+suite and the CLI both call through here.
+"""
+
+from repro.harness.experiment import (
+    ExperimentConfig, ExperimentResult, run_experiment,
+)
+from repro.harness.schemes import SCHEMES, Scheme, scheme_named
+
+__all__ = [
+    "ExperimentConfig", "ExperimentResult", "run_experiment",
+    "SCHEMES", "Scheme", "scheme_named",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    polaris-repro fig6            # or: python -m repro.harness fig6
+    polaris-repro fig10 --trace-seconds 300
+    polaris-repro all
+
+Each command prints the same rows/series the paper's corresponding
+table or figure reports (see EXPERIMENTS.md for the mapping and for
+recorded paper-vs-measured comparisons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.harness import figures
+
+COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
+    "fig3": lambda o: figures.fig3_exec_times(o),
+    "fig6": lambda o: figures.fig6_tpcc_medium(o),
+    "fig7": lambda o: figures.fig7_tpce_medium(o),
+    "fig8": lambda o: figures.fig8_tpcc_low(o),
+    "fig9": lambda o: figures.fig9_tpcc_high(o),
+    "fig10": lambda o: figures.fig10_worldcup(o),
+    "fig11": lambda o: figures.fig11_differentiation(o),
+    "fig12": lambda o: figures.fig12_variants(o),
+    "theory": lambda o: figures.theory_competitive(),
+    "overhead": lambda o: figures.polaris_overhead(),
+    "extension": lambda o: figures.extension_worker_parking(o),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="polaris-repro",
+        description="Reproduce tables/figures from 'Workload-Aware CPU "
+                    "Performance Scaling for Transactional Database "
+                    "Systems' (SIGMOD 2018).")
+    parser.add_argument("figure", choices=sorted(COMMANDS) + ["all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker/core count (default 16, as the paper)")
+    parser.add_argument("--test-seconds", type=float, default=None,
+                        help="measured test-phase length per cell")
+    parser.add_argument("--trace-seconds", type=int, default=None,
+                        help="trace length for fig10 (paper: ~300)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    options = figures.FigureOptions.from_env()
+    if args.workers is not None:
+        options.workers = args.workers
+    if args.test_seconds is not None:
+        options.test_seconds = args.test_seconds
+    if args.trace_seconds is not None:
+        options.trace_seconds = args.trace_seconds
+    if args.seed is not None:
+        options.seed = args.seed
+
+    names = sorted(COMMANDS) if args.figure == "all" else [args.figure]
+    for name in names:
+        start = time.time()
+        result = COMMANDS[name](options)
+        print(result.render())
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

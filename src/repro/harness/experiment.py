@@ -1,0 +1,364 @@
+"""Run one experimental configuration through the paper's methodology.
+
+Each run follows Section 6.1's three phases:
+
+1. **Warmup** --- the server executes offered load with nothing recorded
+   (the paper warms each worker with 30,000 transactions; here a time
+   window, since load levels are rate-controlled).
+2. **Training** --- POLARIS's execution-time estimators are initialized
+   "by filling the initial sliding window for each frequency level and
+   request type combination".  The harness fills each window with draws
+   from the calibrated service model at the corresponding frequency,
+   which is what running the training transactions at each level would
+   measure.
+3. **Test** --- power and performance are measured: mean wall power over
+   the phase (one-second meter samples) and the failure rate over
+   requests *arriving* in the phase (the simulation drains afterwards so
+   stragglers count as failures rather than being censored).
+
+Loads are expressed as fractions of the server's peak throughput,
+derived from the service-time model exactly as the paper derives its
+60%/30%/90% levels from measured peak throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.estimator import ExecutionTimeEstimator
+from repro.core.request import Request
+from repro.core.workload import Workload, WorkloadManager
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.governors.base import GovernorSet
+from repro.harness.schemes import scheme_named
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.power import PowerMeter
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads import tpcc, tpce, ycsb
+from repro.workloads.arrivals import OpenLoopGenerator, RateSchedule
+from repro.workloads.base import BenchmarkSpec
+
+#: benchmark name -> spec factory.
+BENCHMARKS: Dict[str, Callable[[], BenchmarkSpec]] = {
+    "tpcc": lambda: tpcc.make_spec(include_bodies=False),
+    "tpce": lambda: tpce.make_spec(include_bodies=False),
+}
+# YCSB core workloads (the Section 8 key-value target): ycsb-a .. ycsb-f.
+for _letter in "abcdef":
+    BENCHMARKS[f"ycsb-{_letter}"] = (
+        lambda letter=_letter: ycsb.make_spec(letter, include_bodies=False))
+
+#: Load calibration.  The paper expresses loads as fractions of the
+#: *measured* peak throughput of its testbed.  That measurement embeds
+#: hyperthread and request-handler interference, which grows with load:
+#: the paper's own numbers (peak 21250 txn/s over 16 workers against a
+#: 1.2-1.6 ms mean transaction time) imply per-worker utilization above
+#: what isolated workers could sustain, i.e. effective service times
+#: under load exceed the Figure 3 times used to set deadlines.  The
+#: simulator's workers are isolated, so a nominal fraction of measured
+#: peak maps onto a *higher* fraction of isolated-worker capacity, and
+#: increasingly so at higher load.  The anchors below are fitted so the
+#: 2.8 GHz static baseline reproduces the paper's failure-rate levels
+#: at each of its three load settings (Figures 6, 8, 9): ~15% at
+#: medium / slack 10, near zero at low, and intermittent saturation
+#: (not sustained overload) at high.
+LOAD_ANCHORS = ((0.0, 0.0), (0.3, 0.27), (0.6, 0.75), (0.9, 0.92),
+                (1.0, 0.97))
+
+
+def effective_load_fraction(nominal: float) -> float:
+    """Map a paper-nominal load fraction onto simulator utilization
+    by piecewise-linear interpolation of the calibration anchors."""
+    if nominal <= 0:
+        return 0.0
+    for (x0, y0), (x1, y1) in zip(LOAD_ANCHORS, LOAD_ANCHORS[1:]):
+        if nominal <= x1:
+            return y0 + (y1 - y0) * (nominal - x0) / (x1 - x0)
+    return LOAD_ANCHORS[-1][1]
+
+
+@dataclass
+class ExperimentConfig:
+    """One experimental cell.
+
+    ``load_fraction`` follows the paper's levels: 0.3 (low), 0.6
+    (medium), 0.9 (high).  ``slack`` scales per-type latency targets;
+    for the tier policy, ``tier_targets`` gives absolute targets.
+    """
+
+    benchmark: str = "tpcc"
+    scheme: str = "polaris"
+    load_fraction: float = 0.6
+    slack: float = 40.0
+    workers: int = 4
+    request_handlers: int = 2
+    warmup_seconds: float = 1.0
+    test_seconds: float = 8.0
+    drain_limit_seconds: float = 10.0
+    seed: int = 42
+    #: Estimator parameters (paper: S=1000, 95 <= p <= 99, default 95).
+    estimator_window: int = 1000
+    estimator_percentile: float = 95.0
+    #: "per-type" (Sections 6.2-6.4) or "tiers" (Section 6.5).
+    workload_policy: str = "per-type"
+    tier_targets: Optional[Dict[str, float]] = None
+    #: Optional normalized (0..1) load trace; overrides load_fraction
+    #: with a per-second rate between trace_low and trace_high fractions
+    #: of peak (the Section 6.4 experiment).
+    load_trace: Optional[List[float]] = None
+    trace_low_fraction: float = 0.3
+    trace_high_fraction: float = 0.9
+    #: Fill estimator windows before the test phase (paper's phase 2).
+    train_estimators: bool = True
+    #: Ablation: feed mixed-frequency runs back into the estimator (the
+    #: naive attribute-to-dispatch-frequency policy; see
+    #: PolarisScheduler.update_on_mixed_freq).
+    estimator_mixed_freq_updates: bool = False
+    #: Meter cadence/noise (paper: 1 s, +/-1.5%).
+    meter_interval: float = 1.0
+    #: DVFS transition stall for the sensitivity ablation.
+    transition_latency: float = 0.0
+    #: Power timeline bin width for trace experiments (Figure 10(a)).
+    timeline_bin_seconds: float = 5.0
+    #: Request routing across workers ("rh-round-robin" is the paper's;
+    #: "packing" is the Section 8 worker-parking extension).
+    routing: str = "rh-round-robin"
+    #: Idle C-state ladder: "c1" (paper-effective) or "deep" (extension).
+    cstate_ladder: str = "c1"
+
+
+@dataclass
+class ExperimentResult:
+    """What the paper reports for one run, plus diagnostics."""
+
+    config: ExperimentConfig
+    scheme_label: str
+    avg_power_watts: float
+    failure_rate: float
+    offered: int
+    completed: int
+    missed: int
+    rejected: int
+    throughput: float
+    peak_throughput: float
+    per_workload_failure: Dict[str, float]
+    per_workload_offered: Dict[str, int]
+    cpu_energy_joules: float
+    wall_energy_joules: float
+    freq_residency: Dict[float, float]
+    power_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    load_timeline: List[float] = field(default_factory=list)
+    mean_latency_by_workload: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
+                f"  failure={self.failure_rate:6.3f}"
+                f"  thpt={self.throughput:8.1f}/s")
+
+
+def _build_workloads(config: ExperimentConfig,
+                     spec: BenchmarkSpec) -> WorkloadManager:
+    if config.workload_policy == "per-type":
+        return WorkloadManager.per_type_with_slack(spec, config.slack)
+    if config.workload_policy == "tiers":
+        if not config.tier_targets:
+            raise ValueError("tier policy requires tier_targets")
+        return WorkloadManager.tiers(config.tier_targets)
+    raise ValueError(f"unknown workload policy {config.workload_policy!r}")
+
+
+def _train_estimator(estimator: ExecutionTimeEstimator,
+                     manager: WorkloadManager, spec: BenchmarkSpec,
+                     frequencies: Tuple[float, ...], config: ExperimentConfig,
+                     rng: random.Random) -> None:
+    """Phase 2: fill each (workload, frequency) window.
+
+    For per-type workloads the window receives draws of that type's
+    service time scaled to each frequency; tier workloads receive draws
+    from the full mix (what measuring the tier's transactions yields).
+    """
+    fill = estimator.window
+    for workload in manager.workloads:
+        if config.workload_policy == "per-type":
+            models = [spec.type_named(workload.name).service]
+            weights = [1.0]
+        else:
+            models = [t.service for t in spec.types]
+            weights = [spec.mix_fraction(t.name) for t in spec.types]
+        for _ in range(fill):
+            u = rng.random()
+            acc = 0.0
+            model = models[-1]
+            for m, w in zip(models, weights):
+                acc += w
+                if u <= acc:
+                    model = m
+                    break
+            ref_seconds = model.draw_seconds(rng)
+            for freq in frequencies:
+                estimator.observe(workload.name, freq,
+                                  ref_seconds * model.ref_freq_ghz / freq)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one cell and return the paper's metrics for it."""
+    scheme = scheme_named(config.scheme)
+    spec = BENCHMARKS[config.benchmark]()
+    streams = RandomStreams(config.seed)
+    sim = Simulator()
+    manager = _build_workloads(config, spec)
+
+    server_config = ServerConfig(
+        workers=config.workers,
+        request_handlers=config.request_handlers,
+        transition_latency=config.transition_latency,
+        routing=config.routing,
+        cstate_ladder=config.cstate_ladder,
+    )
+
+    estimator = ExecutionTimeEstimator(config.estimator_window,
+                                       config.estimator_percentile)
+    if scheme.uses_scheduler:
+        base_factory = scheme.make_scheduler_factory(
+            server_config.scheduler_frequencies, estimator)
+        if config.estimator_mixed_freq_updates:
+            def factory(_base=base_factory):
+                scheduler = _base()
+                scheduler.update_on_mixed_freq = True
+                return scheduler
+        else:
+            factory = base_factory
+        server = DatabaseServer(sim, server_config,
+                                scheduler_factory=factory,
+                                initial_freq=scheme.initial_freq)
+        if config.train_estimators:
+            _train_estimator(estimator, manager, spec,
+                             server_config.scheduler_frequencies, config,
+                             streams.get("training"))
+        governors = None
+    else:
+        server = DatabaseServer(sim, server_config,
+                                scheduler_factory=None,
+                                initial_freq=scheme.initial_freq)
+        assert scheme.governor_factory is not None
+        governors = GovernorSet(scheme.governor_factory)
+        governors.attach_all(server.cores, sim)
+
+    # ------------------------------------------------------------------
+    # Offered load
+    # ------------------------------------------------------------------
+    peak = spec.peak_throughput(config.workers)
+    if config.load_trace is not None:
+        low = effective_load_fraction(config.trace_low_fraction) * peak
+        high = effective_load_fraction(config.trace_high_fraction) * peak
+        rates = [low + v * (high - low) for v in config.load_trace]
+        schedule: Optional[RateSchedule] = RateSchedule(rates)
+        rate_fn = schedule.rate_at
+    else:
+        schedule = None
+        target = effective_load_fraction(config.load_fraction) * peak
+        rate_fn = lambda _now: target  # noqa: E731 - tiny adapter
+
+    service_rng = streams.get("service-times")
+    tier_rng = streams.get("tier-assignment")
+    tiers = manager.workloads if config.workload_policy == "tiers" else None
+
+    def on_arrival(now: float) -> None:
+        txn_type = spec.choose_type(streams.get("mix"))
+        if tiers is not None:
+            workload = tiers[tier_rng.randrange(len(tiers))]
+        else:
+            workload = manager.get(txn_type.name)
+        request = Request(workload, txn_type.name, now,
+                          txn_type.service.draw_work(service_rng))
+        server.submit(request)
+
+    generator = OpenLoopGenerator(sim, rate_fn, on_arrival,
+                                  streams.get("arrivals"))
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    recorder = LatencyRecorder()
+    server.add_completion_listener(recorder.on_completion)
+    server.add_rejection_listener(recorder.on_rejection)
+
+    test_start = config.warmup_seconds
+    if schedule is not None:
+        test_duration = schedule.duration
+    else:
+        test_duration = config.test_seconds
+    test_end = test_start + test_duration
+    # The meter's cadence is the paper's 1 s, clamped so short test
+    # windows (small-scale tests) still collect several readings.
+    meter_interval = min(config.meter_interval, test_duration / 4.0)
+    meter = PowerMeter(sim, server.wall_energy, streams.get("meter-noise"),
+                       interval=meter_interval)
+    recorder.set_window(test_start, test_end)
+
+    # ------------------------------------------------------------------
+    # Run the three phases
+    # ------------------------------------------------------------------
+    generator.start()
+    sim.schedule_at(test_start, meter.start, priority=-10)
+    sim.run(until=test_end)
+    generator.stop()
+    # Drain: let in-flight and queued test-phase requests finish so late
+    # completions register as failures instead of being censored.
+    drain_end = test_end + config.drain_limit_seconds
+    while sim.now < drain_end:
+        if all(w.idle for w in server.workers) \
+                and server.total_queue_length() == 0:
+            break
+        if not sim.step():
+            break
+    meter.stop()
+
+    # ------------------------------------------------------------------
+    # Collect
+    # ------------------------------------------------------------------
+    residency: Dict[float, float] = {}
+    for core in server.cores:
+        core.flush_accounting()
+        for freq, seconds in core.freq_residency.items():
+            residency[freq] = residency.get(freq, 0.0) + seconds
+
+    per_workload_failure = {
+        name: stats.failure_rate
+        for name, stats in recorder.per_workload.items()}
+    per_workload_offered = {
+        name: stats.offered for name, stats in recorder.per_workload.items()}
+    mean_latency = {
+        name: stats.mean_latency()
+        for name, stats in recorder.per_workload.items() if stats.latencies}
+
+    timeline = meter.binned_average(test_start, test_end,
+                                    config.timeline_bin_seconds) \
+        if meter.samples else []
+
+    if governors is not None:
+        governors.detach_all()
+
+    return ExperimentResult(
+        config=config,
+        scheme_label=scheme.label,
+        avg_power_watts=meter.average_power(test_start, test_end),
+        failure_rate=recorder.failure_rate,
+        offered=recorder.total_offered,
+        completed=recorder.total_completed,
+        missed=recorder.total_missed,
+        rejected=recorder.total_rejected,
+        throughput=recorder.total_completed / test_duration,
+        peak_throughput=peak,
+        per_workload_failure=per_workload_failure,
+        per_workload_offered=per_workload_offered,
+        cpu_energy_joules=server.cpu_energy(),
+        wall_energy_joules=server.wall_energy(),
+        freq_residency=residency,
+        power_timeline=timeline,
+        load_timeline=list(config.load_trace or []),
+        mean_latency_by_workload=mean_latency,
+    )

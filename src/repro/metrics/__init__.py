@@ -1,0 +1,17 @@
+"""Measurement layer: wall power meter, latency recorder, reporting.
+
+Mirrors the paper's methodology (Section 6.1): whole-server power is
+sampled once per second (the finest granularity of the Watts up? PRO
+meter, rated +/-1.5%) and averaged over the test phase; performance is
+the *failure rate* --- the fraction of transactions that do not finish
+by their deadline.
+"""
+
+from repro.metrics.power import PowerMeter
+from repro.metrics.latency import LatencyRecorder, WorkloadStats
+from repro.metrics.report import format_table, format_series
+
+__all__ = [
+    "PowerMeter", "LatencyRecorder", "WorkloadStats",
+    "format_table", "format_series",
+]

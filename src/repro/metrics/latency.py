@@ -1,0 +1,168 @@
+"""Latency and failure-rate accounting.
+
+The paper's performance metric is the **failure rate**: "the percentage
+of transactions that do not finish execution before their deadline"
+(Section 6.1), tracked overall and per workload (the gold/silver
+experiment of Section 6.5 needs the split).  The recorder also keeps
+execution-time statistics per transaction type and dispatch frequency,
+which regenerate the paper's Figure 3 table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.request import Request
+
+
+def percentile(values: List[float], p: float) -> float:
+    """Order-statistic percentile (the paper's P95 convention)."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 < p <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
+@dataclass
+class WorkloadStats:
+    """Per-workload accumulator."""
+
+    offered: int = 0
+    completed: int = 0
+    missed: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def failure_rate(self) -> float:
+        """#failed / #offered, the paper's y-axis."""
+        if self.offered == 0:
+            return 0.0
+        return self.missed / self.offered
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            raise ValueError("no completions recorded")
+        return sum(self.latencies) / len(self.latencies)
+
+
+class LatencyRecorder:
+    """Collects per-request outcomes during the measurement window.
+
+    Attach via ``server.add_completion_listener(recorder.on_completion)``
+    and flip :attr:`recording` when the test phase starts --- warmup and
+    training completions are then ignored, as in the paper's three-phase
+    methodology.
+    """
+
+    def __init__(self, keep_latencies: bool = True):
+        self.recording = False
+        #: When set, completions count iff the request *arrived* inside
+        #: [t0, t1), regardless of the recording flag --- the harness's
+        #: test-phase accounting (late completions of in-window arrivals
+        #: still count as failures, not censored).
+        self.window: Optional[Tuple[float, float]] = None
+        self.keep_latencies = keep_latencies
+        self.per_workload: Dict[str, WorkloadStats] = {}
+        #: execution times keyed by (txn_type, dispatch frequency).
+        self.exec_times: Dict[Tuple[str, float], List[float]] = {}
+        self.total_offered = 0
+        self.total_completed = 0
+        self.total_missed = 0
+        self.total_rejected = 0
+
+    # ------------------------------------------------------------------
+    def set_window(self, start: float, end: float) -> None:
+        """Count only requests arriving in ``[start, end)``."""
+        if end <= start:
+            raise ValueError("window must have positive length")
+        self.window = (start, end)
+
+    def _in_scope(self, request: Request) -> bool:
+        if self.window is not None:
+            start, end = self.window
+            return start <= request.arrival_time < end
+        return self.recording
+
+    def on_rejection(self, request: Request) -> None:
+        """Count an admission-control rejection: offered but never
+        finishes, so it is a miss by the paper's failure metric."""
+        if not self._in_scope(request):
+            return
+        stats = self.per_workload.setdefault(request.workload.name,
+                                             WorkloadStats())
+        stats.offered += 1
+        stats.missed += 1
+        self.total_offered += 1
+        self.total_missed += 1
+        self.total_rejected += 1
+
+    def on_completion(self, request: Request) -> None:
+        if not self._in_scope(request):
+            return
+        stats = self.per_workload.setdefault(request.workload.name,
+                                             WorkloadStats())
+        stats.offered += 1
+        stats.completed += 1
+        self.total_offered += 1
+        self.total_completed += 1
+        if not request.met_deadline:
+            stats.missed += 1
+            self.total_missed += 1
+        if self.keep_latencies:
+            stats.latencies.append(request.latency)
+            key = (request.txn_type, request.dispatch_freq)
+            self.exec_times.setdefault(key, []).append(
+                request.execution_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Overall #failed / #offered."""
+        if self.total_offered == 0:
+            return 0.0
+        return self.total_missed / self.total_offered
+
+    def workload_failure_rate(self, workload: str) -> float:
+        stats = self.per_workload.get(workload)
+        return stats.failure_rate if stats is not None else 0.0
+
+    def exec_time_stats(self, txn_type: str,
+                        freq_ghz: Optional[float] = None
+                        ) -> Tuple[float, float, int]:
+        """(mean, P95, count) of execution times for a type.
+
+        With ``freq_ghz`` given, restricted to requests dispatched at
+        that frequency (the Figure 3 table's columns); otherwise pooled.
+        """
+        values: List[float] = []
+        for (name, freq), times in self.exec_times.items():
+            if name != txn_type:
+                continue
+            if freq_ghz is not None and abs(freq - freq_ghz) > 1e-9:
+                continue
+            values.extend(times)
+        if not values:
+            return (float("nan"), float("nan"), 0)
+        mean = sum(values) / len(values)
+        return (mean, percentile(values, 95), len(values))
+
+    def combined_exec_time_stats(self, freq_ghz: Optional[float] = None
+                                 ) -> Tuple[float, float, int]:
+        """Pooled (mean, P95, count) across all types (Figure 3 last row)."""
+        values: List[float] = []
+        for (name, freq), times in self.exec_times.items():
+            if freq_ghz is not None and abs(freq - freq_ghz) > 1e-9:
+                continue
+            values.extend(times)
+        if not values:
+            return (float("nan"), float("nan"), 0)
+        mean = sum(values) / len(values)
+        return (mean, percentile(values, 95), len(values))
+
+    def workload_names(self) -> List[str]:
+        return sorted(self.per_workload)

@@ -1,0 +1,74 @@
+"""Plain-text table and series rendering for bench output.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; floats are caller-formatted so each bench
+    controls its precision.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(label: str, xs: Sequence, ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """One figure series as ``label: x=y`` pairs on a single line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = " ".join(f"{x}={y_format.format(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compact ASCII sparkline (used by the World Cup timeline bench)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+    # Downsample to the requested width by bucket means.
+    if len(values) > width:
+        bucket = len(values) / width
+        sampled = []
+        for i in range(width):
+            lo = int(i * bucket)
+            hi = max(lo + 1, int((i + 1) * bucket))
+            chunk = values[lo:hi]
+            sampled.append(sum(chunk) / len(chunk))
+    else:
+        sampled = list(values)
+    out = []
+    for v in sampled:
+        idx = int((v - low) / span * (len(glyphs) - 1))
+        out.append(glyphs[idx])
+    return "".join(out)

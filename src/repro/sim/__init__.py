@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+The POLARIS paper evaluates on real hardware with microsecond-scale
+scheduling decisions.  Python cannot make per-transaction scheduling
+decisions at that timescale in real time, so the whole reproduction runs
+on a deterministic discrete-event simulator with a virtual clock measured
+in (floating point) seconds.  Everything above this package --- CPU cores,
+governors, the database server, POLARIS itself --- is written against the
+:class:`Simulator` event loop and never consults wall-clock time.
+
+Public classes
+--------------
+Simulator
+    The event loop: schedule callbacks at absolute or relative virtual
+    times, run until a deadline or until the event queue drains.
+Event
+    Handle returned by :meth:`Simulator.schedule`; supports cancellation.
+RandomStreams
+    A registry of independently seeded ``random.Random`` streams, so each
+    stochastic component (arrivals, service times, meter noise, ...)
+    draws from its own reproducible stream.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Event", "Simulator", "SimulationError", "RandomStreams"]

@@ -1,0 +1,104 @@
+"""Time-varying load traces (the World Cup experiment, Section 6.4).
+
+The paper modulates the TPC-C target request rate once per second
+following the *normalized* request rate of the 1998 World Cup web trace
+(Arlitt & Jin), sweeping between 30% and 90% of the server's peak
+throughput over a roughly 300-second window.
+
+The original trace files are not redistributable, so
+:func:`synthesize_worldcup_trace` generates a normalized per-second
+series with the same qualitative structure seen in the paper's
+Figure 10(a): long multi-minute swells and troughs (match start/end
+audience movements) overlaid with second-scale jitter and occasional
+short bursts.  A user with the real trace can load it with
+:func:`load_trace` and obtain identical treatment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Sequence
+
+
+def synthesize_worldcup_trace(duration_seconds: int = 300,
+                              rng: random.Random = None,
+                              seed: int = 1998) -> List[float]:
+    """Normalized (0..1) per-second request-rate series.
+
+    Structure: a baseline of two slow sinusoidal swells with different
+    periods (so peaks and troughs drift like the paper's timeline),
+    plus white jitter and a few short bursts, clamped to [0, 1].
+    """
+    if duration_seconds < 1:
+        raise ValueError("duration must be at least one second")
+    if rng is None:
+        rng = random.Random(seed)
+
+    # Random phase offsets make each seed a different "day" of the trace.
+    phase_a = rng.uniform(0.0, 2.0 * math.pi)
+    phase_b = rng.uniform(0.0, 2.0 * math.pi)
+    period_a = rng.uniform(110.0, 150.0)   # main swell, ~2 minutes
+    period_b = rng.uniform(40.0, 70.0)     # secondary ripple
+
+    # A handful of bursts (kickoff/goal moments) of 5-15 s.
+    bursts = []
+    for _ in range(max(1, duration_seconds // 90)):
+        start = rng.uniform(0, duration_seconds)
+        bursts.append((start, start + rng.uniform(5.0, 15.0),
+                       rng.uniform(0.2, 0.45)))
+
+    series: List[float] = []
+    for t in range(duration_seconds):
+        base = 0.5 \
+            + 0.32 * math.sin(2.0 * math.pi * t / period_a + phase_a) \
+            + 0.14 * math.sin(2.0 * math.pi * t / period_b + phase_b)
+        for start, end, lift in bursts:
+            if start <= t < end:
+                base += lift
+        base += rng.gauss(0.0, 0.035)
+        series.append(min(1.0, max(0.0, base)))
+    return series
+
+
+def load_trace(lines: Iterable[str]) -> List[float]:
+    """Parse a one-number-per-line request-count trace and normalize it.
+
+    Blank lines and ``#`` comments are ignored.  The result is scaled to
+    [0, 1] by the observed min/max, matching how the paper normalizes
+    the World Cup counts before mapping them onto its load range.
+    """
+    counts: List[float] = []
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        counts.append(float(text))
+    if not counts:
+        raise ValueError("trace contains no samples")
+    return normalize(counts)
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale a series to [0, 1] by its min/max (constant series -> 0.5)."""
+    low, high = min(values), max(values)
+    if high <= low:
+        return [0.5] * len(values)
+    span = high - low
+    return [(v - low) / span for v in values]
+
+
+def scale_trace(normalized: Sequence[float], low_rate: float,
+                high_rate: float) -> List[float]:
+    """Map a normalized series onto ``[low_rate, high_rate]`` requests/s.
+
+    The paper maps the normalized World Cup fluctuations onto 30%..90%
+    of the measured peak TPC-C throughput (6400..19440 requests/s on
+    its testbed).
+    """
+    if not 0 <= low_rate <= high_rate:
+        raise ValueError("need 0 <= low_rate <= high_rate")
+    bad = [v for v in normalized if not 0.0 <= v <= 1.0]
+    if bad:
+        raise ValueError(f"normalized values outside [0,1]: {bad[:3]}...")
+    return [low_rate + v * (high_rate - low_rate) for v in normalized]

@@ -1,0 +1,151 @@
+"""B+-tree: unit cases plus model-based property tests against a dict."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.storage.btree import BPlusTree
+
+
+def test_insert_get_basic():
+    tree = BPlusTree()
+    assert tree.insert(2, "b")
+    assert tree.insert(1, "a")
+    assert tree.get(1) == "a"
+    assert tree.get(2) == "b"
+    assert tree.get(3) is None
+    assert tree.get(3, "missing") == "missing"
+    assert len(tree) == 2
+    assert 1 in tree and 3 not in tree
+
+
+def test_insert_replace_semantics():
+    tree = BPlusTree()
+    assert tree.insert(1, "a") is True
+    assert tree.insert(1, "b") is False
+    assert tree.get(1) == "b"
+    assert tree.insert(1, "c", replace=False) is False
+    assert tree.get(1) == "b"
+    assert len(tree) == 1
+
+
+def test_delete():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    assert tree.delete(1) is True
+    assert tree.delete(1) is False
+    assert len(tree) == 0
+    assert tree.get(1) is None
+
+
+def test_items_sorted_after_many_inserts():
+    tree = BPlusTree(order=4)
+    keys = list(range(200))
+    random.Random(0).shuffle(keys)
+    for key in keys:
+        tree.insert(key, key * 10)
+    assert [k for k, _ in tree.items()] == list(range(200))
+    tree.check_invariants()
+
+
+def test_range_queries():
+    tree = BPlusTree(order=4)
+    for key in range(0, 100, 2):  # even keys
+        tree.insert(key, key)
+    assert [k for k, _ in tree.items(10, 20)] == [10, 12, 14, 16, 18, 20]
+    assert [k for k, _ in tree.items(9, 21)] == [10, 12, 14, 16, 18, 20]
+    assert [k for k, _ in tree.items(10, 20, inclusive=(False, False))] \
+        == [12, 14, 16, 18]
+    assert [k for k, _ in tree.items(None, 4)] == [0, 2, 4]
+    assert [k for k, _ in tree.items(94, None)] == [94, 96, 98]
+    assert list(tree.keys(96)) == [96, 98]
+
+
+def test_min_max_keys():
+    tree = BPlusTree(order=3)
+    with pytest.raises(KeyError):
+        tree.min_key()
+    with pytest.raises(KeyError):
+        tree.max_key()
+    for key in (5, 1, 9, 3):
+        tree.insert(key, None)
+    assert tree.min_key() == 1
+    assert tree.max_key() == 9
+
+
+def test_deletion_with_rebalancing():
+    tree = BPlusTree(order=3)  # tiny order forces splits/merges
+    keys = list(range(100))
+    rng = random.Random(1)
+    rng.shuffle(keys)
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    rng.shuffle(keys)
+    for i, key in enumerate(keys):
+        assert tree.delete(key)
+        if i % 10 == 0:
+            tree.check_invariants()
+    assert len(tree) == 0
+    tree.check_invariants()
+
+
+def test_tuple_keys():
+    tree = BPlusTree()
+    tree.insert((1, "b"), "x")
+    tree.insert((1, "a"), "y")
+    tree.insert((0, "z"), "w")
+    assert [k for k, _ in tree.items()] == [(0, "z"), (1, "a"), (1, "b")]
+    assert [k for k, _ in tree.items((1, ""), (1, "zz"))] \
+        == [(1, "a"), (1, "b")]
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_empty_iteration():
+    tree = BPlusTree()
+    assert list(tree.items()) == []
+    assert list(tree.items(1, 10)) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "get"]),
+                  st.integers(min_value=0, max_value=60)),
+        max_size=120),
+    order=st.integers(min_value=3, max_value=8))
+def test_property_matches_dict_model(ops, order):
+    """The tree behaves exactly like a dict + sorted() reference."""
+    tree = BPlusTree(order=order)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            assert tree.insert(key, key * 3) == (key not in model)
+            model[key] = key * 3
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert [k for k, _ in tree.items()] == sorted(model)
+    assert dict(tree.items()) == model
+    tree.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=1000), max_size=80),
+    low=st.integers(min_value=-10, max_value=1010),
+    high=st.integers(min_value=-10, max_value=1010))
+def test_property_range_scan_matches_filter(keys, low, high):
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, None)
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.items(low, high)] == expected

@@ -1,0 +1,141 @@
+"""Sliding-window percentile estimation (paper Section 3.2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimator import ExecutionTimeEstimator, SlidingWindowPercentile
+
+
+def reference_percentile(values, p):
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
+def test_empty_tracker_returns_zero():
+    tracker = SlidingWindowPercentile()
+    assert tracker.value() == 0.0
+    assert len(tracker) == 0
+    assert not tracker.full
+
+
+def test_percentile_of_known_values():
+    tracker = SlidingWindowPercentile(window=100, percentile=95)
+    for v in range(1, 101):  # 1..100
+        tracker.observe(float(v))
+    assert tracker.value() == 95.0
+    assert tracker.full
+
+
+def test_median_mode():
+    tracker = SlidingWindowPercentile(window=10, percentile=50)
+    for v in [5, 1, 9, 3, 7]:
+        tracker.observe(v)
+    assert tracker.value() == 5
+
+
+def test_sliding_eviction():
+    tracker = SlidingWindowPercentile(window=3, percentile=100)
+    for v in [10.0, 20.0, 30.0]:
+        tracker.observe(v)
+    assert tracker.value() == 30.0
+    tracker.observe(5.0)  # evicts 10.0
+    assert tracker.value() == 30.0
+    tracker.observe(5.0)  # evicts 20.0
+    tracker.observe(5.0)  # evicts 30.0
+    assert tracker.value() == 5.0
+    assert len(tracker) == 3
+
+
+def test_duplicate_values_evict_correctly():
+    tracker = SlidingWindowPercentile(window=2, percentile=100)
+    tracker.observe(1.0)
+    tracker.observe(1.0)
+    tracker.observe(2.0)
+    assert sorted(tracker._sorted) == [1.0, 2.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SlidingWindowPercentile(window=0)
+    with pytest.raises(ValueError):
+        SlidingWindowPercentile(percentile=0.0)
+    with pytest.raises(ValueError):
+        SlidingWindowPercentile(percentile=101.0)
+    with pytest.raises(ValueError):
+        SlidingWindowPercentile().observe(-1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200),
+    window=st.integers(min_value=1, max_value=50),
+    percentile=st.floats(min_value=1.0, max_value=100.0))
+def test_property_matches_reference_over_window(values, window, percentile):
+    """The tracker equals the order statistic of the last ``window``
+    observations, for any percentile."""
+    tracker = SlidingWindowPercentile(window, percentile)
+    for v in values:
+        tracker.observe(v)
+    expected = reference_percentile(values[-window:], percentile)
+    assert tracker.value() == expected
+
+
+# ----------------------------------------------------------------------
+# ExecutionTimeEstimator
+# ----------------------------------------------------------------------
+def test_estimator_unseen_pair_is_zero():
+    """Zero-initialized estimates drive the paper's lowest-to-highest
+    frequency exploration (Section 6.1)."""
+    estimator = ExecutionTimeEstimator()
+    assert estimator.estimate("w", 2.8) == 0.0
+
+
+def test_estimator_tracks_per_pair():
+    estimator = ExecutionTimeEstimator(window=10, percentile=95)
+    for _ in range(10):
+        estimator.observe("a", 2.8, 1.0)
+        estimator.observe("a", 1.2, 2.5)
+        estimator.observe("b", 2.8, 9.0)
+    assert estimator.estimate("a", 2.8) == 1.0
+    assert estimator.estimate("a", 1.2) == 2.5
+    assert estimator.estimate("b", 2.8) == 9.0
+    assert estimator.observation_count("a", 2.8) == 10
+    assert estimator.observation_count("zzz", 2.8) == 0
+    assert estimator.pairs() == [("a", 1.2), ("a", 2.8), ("b", 2.8)]
+
+
+def test_estimator_prime_fills_window():
+    estimator = ExecutionTimeEstimator(window=100)
+    estimator.prime("w", 2.0, 0.005, count=100)
+    assert estimator.estimate("w", 2.0) == 0.005
+    assert estimator.observation_count("w", 2.0) == 100
+
+
+def test_estimator_adapts_to_shift():
+    """The sliding window forgets the old regime (paper: 'it can adapt
+    to changing workloads and system conditions')."""
+    estimator = ExecutionTimeEstimator(window=50, percentile=95)
+    for _ in range(50):
+        estimator.observe("w", 2.8, 1.0)
+    for _ in range(50):
+        estimator.observe("w", 2.8, 3.0)
+    assert estimator.estimate("w", 2.8) == 3.0
+
+
+def test_estimator_p95_is_conservative():
+    """With a skewed sample, the p95 estimate sits near the tail, so
+    most transactions finish earlier than predicted."""
+    estimator = ExecutionTimeEstimator(window=1000, percentile=95)
+    rng = random.Random(0)
+    samples = [rng.lognormvariate(0.0, 0.8) for _ in range(1000)]
+    for s in samples:
+        estimator.observe("w", 2.8, s)
+    estimate = estimator.estimate("w", 2.8)
+    above = sum(1 for s in samples if s > estimate)
+    assert above <= 0.05 * len(samples)
+    assert estimate > sum(samples) / len(samples)  # above the mean

@@ -1,0 +1,178 @@
+"""OS frequency governors: static pinning and the dynamic decision rules."""
+
+import pytest
+
+from repro.cpu.core import Core, Job
+from repro.cpu.pstates import XEON_E5_2640V3_PSTATES
+from repro.governors.base import DynamicGovernor, GovernorSet
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.ondemand import OnDemandGovernor
+from repro.governors.static import (
+    PerformanceGovernor, PowersaveGovernor, UserspaceGovernor,
+)
+from repro.sim.engine import Simulator
+
+
+def make_core(sim, freq=2.8):
+    return Core(sim, 0, XEON_E5_2640V3_PSTATES, initial_freq=freq)
+
+
+def keep_busy(sim, core, fraction, period=0.002, until=1.0):
+    """Drive the core busy for ``fraction`` of every ``period``."""
+    def tick():
+        if sim.now >= until or core.busy:
+            return
+        core.start_job(Job(core.freq * period * fraction))
+        sim.schedule(period, tick)
+
+    sim.schedule(0.0, tick)
+
+
+# ----------------------------------------------------------------------
+# Static governors
+# ----------------------------------------------------------------------
+def test_performance_pins_max(sim):
+    core = make_core(sim, freq=1.2)
+    PerformanceGovernor().attach(core, sim)
+    assert core.freq == 2.8
+
+
+def test_powersave_pins_min(sim):
+    core = make_core(sim, freq=2.8)
+    PowersaveGovernor().attach(core, sim)
+    assert core.freq == 1.2
+
+
+def test_userspace_pins_requested(sim):
+    core = make_core(sim)
+    governor = UserspaceGovernor(2.4)
+    governor.attach(core, sim)
+    assert core.freq == 2.4
+    governor.set_speed(1.6)
+    assert core.freq == 1.6
+
+
+def test_userspace_requires_grid_frequency(sim):
+    core = make_core(sim)
+    with pytest.raises(ValueError):
+        UserspaceGovernor(2.45).attach(core, sim)
+
+
+# ----------------------------------------------------------------------
+# OnDemand
+# ----------------------------------------------------------------------
+def test_ondemand_jumps_to_max_when_saturated(sim):
+    core = make_core(sim, freq=1.2)
+    governor = OnDemandGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    core.start_job(Job(1000.0))  # saturate indefinitely
+    sim.run(until=0.05)
+    assert core.freq == 2.8
+
+
+def test_ondemand_scales_proportionally_at_partial_load(sim):
+    core = make_core(sim, freq=2.8)
+    governor = OnDemandGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    keep_busy(sim, core, fraction=0.5, until=0.5)
+    sim.run(until=0.5)
+    # load 0.5 -> target 1.4 GHz; utilization rises as freq drops, so the
+    # equilibrium sits in the middle of the grid, never back at max.
+    assert 1.2 <= core.freq <= 2.2
+
+
+def test_ondemand_idle_core_drops_to_min(sim):
+    core = make_core(sim, freq=2.8)
+    OnDemandGovernor(sampling_period=0.01).attach(core, sim)
+    sim.run(until=0.1)
+    assert core.freq == 1.2
+
+
+def test_ondemand_threshold_validation():
+    with pytest.raises(ValueError):
+        OnDemandGovernor(up_threshold=0.0)
+    with pytest.raises(ValueError):
+        OnDemandGovernor(up_threshold=101.0)
+
+
+# ----------------------------------------------------------------------
+# Conservative
+# ----------------------------------------------------------------------
+def test_conservative_steps_up_gradually_under_load(sim):
+    core = make_core(sim, freq=1.2)
+    governor = ConservativeGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    core.start_job(Job(1000.0))
+    sim.run(until=0.035)  # three samples: 3 steps of 0.14 GHz
+    assert 1.2 < core.freq < 2.8
+    after_three = core.freq
+    sim.run(until=0.30)
+    assert core.freq == 2.8
+    assert after_three < 2.8
+
+
+def test_conservative_steps_down_when_idle(sim):
+    core = make_core(sim, freq=2.8)
+    ConservativeGovernor(sampling_period=0.01).attach(core, sim)
+    sim.run(until=0.05)
+    assert core.freq < 2.8  # stepped, not jumped
+    freq_after_short_idle = core.freq
+    sim.run(until=1.5)
+    assert core.freq == 1.2
+    assert freq_after_short_idle > 1.2
+
+
+def test_conservative_dead_zone_holds_frequency(sim):
+    core = make_core(sim, freq=2.8)
+    governor = ConservativeGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    keep_busy(sim, core, fraction=0.5, until=0.5)  # between 20% and 80%
+    sim.run(until=0.5)
+    assert core.freq == 2.8  # never left the starting frequency
+
+
+def test_conservative_threshold_validation():
+    with pytest.raises(ValueError):
+        ConservativeGovernor(up_threshold=10.0, down_threshold=20.0)
+    with pytest.raises(ValueError):
+        ConservativeGovernor(freq_step_percent=0.0)
+
+
+# ----------------------------------------------------------------------
+# Sampling machinery / GovernorSet
+# ----------------------------------------------------------------------
+def test_dynamic_governor_detach_stops_sampling(sim):
+    core = make_core(sim, freq=2.8)
+    governor = OnDemandGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    sim.run(until=0.03)
+    samples = governor.samples_taken
+    governor.detach()
+    sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert governor.samples_taken == samples
+
+
+def test_sampling_period_validation():
+    with pytest.raises(ValueError):
+        OnDemandGovernor(sampling_period=0.0)
+
+
+def test_governor_set_attaches_one_per_core(sim):
+    cores = [Core(sim, i, XEON_E5_2640V3_PSTATES) for i in range(3)]
+    group = GovernorSet(PowersaveGovernor)
+    group.attach_all(cores, sim)
+    assert all(c.freq == 1.2 for c in cores)
+    assert len(group.governors) == 3
+    with pytest.raises(RuntimeError):
+        group.attach_all(cores, sim)
+    group.detach_all()
+    assert group.governors == []
+
+
+def test_dynamic_base_requires_target_implementation(sim):
+    core = make_core(sim)
+    governor = DynamicGovernor(sampling_period=0.01)
+    governor.attach(core, sim)
+    with pytest.raises(NotImplementedError):
+        sim.run(until=0.02)

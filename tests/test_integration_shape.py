@@ -1,0 +1,94 @@
+"""End-to-end shape checks at reduced scale.
+
+The full-size shape assertions live in the benchmark suite; these
+smaller versions guard the paper's headline orderings inside the unit
+test run (8 workers, short phases, fixed seed — chosen to be robust,
+not precise).
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+SCALE = dict(workers=8, warmup_seconds=0.8, test_seconds=3.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def medium_tight():
+    """All five schemes at medium load, slack 10 (one shared run set)."""
+    return {
+        scheme: run_experiment(ExperimentConfig(
+            scheme=scheme, load_fraction=0.6, slack=10.0, **SCALE))
+        for scheme in ("polaris", "ondemand", "conservative",
+                       "static-2.8", "static-2.4")
+    }
+
+
+def test_polaris_saves_power_at_medium_load(medium_tight):
+    polaris = medium_tight["polaris"].avg_power_watts
+    static28 = medium_tight["static-2.8"].avg_power_watts
+    assert static28 - polaris > 8.0
+
+
+def test_polaris_beats_ondemand_on_both_metrics(medium_tight):
+    polaris = medium_tight["polaris"]
+    ondemand = medium_tight["ondemand"]
+    assert polaris.avg_power_watts < ondemand.avg_power_watts
+    assert polaris.failure_rate < ondemand.failure_rate
+
+
+def test_polaris_misses_no_more_than_peak_frequency(medium_tight):
+    assert medium_tight["polaris"].failure_rate \
+        <= medium_tight["static-2.8"].failure_rate + 0.02
+
+
+def test_conservative_shadows_peak_at_medium_load(medium_tight):
+    conservative = medium_tight["conservative"]
+    static28 = medium_tight["static-2.8"]
+    assert abs(conservative.avg_power_watts
+               - static28.avg_power_watts) < 4.0
+    assert abs(conservative.failure_rate - static28.failure_rate) < 0.03
+
+
+def test_static_24_trades_power_for_misses(medium_tight):
+    static24 = medium_tight["static-2.4"]
+    static28 = medium_tight["static-2.8"]
+    assert static28.avg_power_watts - static24.avg_power_watts > 15.0
+    assert static24.failure_rate > static28.failure_rate + 0.05
+
+
+def test_all_schemes_see_identical_offered_load(medium_tight):
+    offered = {r.offered for r in medium_tight.values()}
+    assert len(offered) == 1
+
+
+def test_slack_releases_polaris_power():
+    tight = run_experiment(ExperimentConfig(
+        scheme="polaris", load_fraction=0.6, slack=10.0, **SCALE))
+    loose = run_experiment(ExperimentConfig(
+        scheme="polaris", load_fraction=0.6, slack=100.0, **SCALE))
+    # More slack -> lower frequency -> less power, fewer misses.
+    assert loose.avg_power_watts < tight.avg_power_watts
+    assert loose.failure_rate < 0.02
+
+
+def test_variants_order_at_tight_slack():
+    results = {
+        scheme: run_experiment(ExperimentConfig(
+            scheme=scheme, load_fraction=0.6, slack=10.0, **SCALE))
+        for scheme in ("polaris", "polaris-fifo", "polaris-fifo-noarrive")
+    }
+    assert results["polaris"].failure_rate \
+        <= results["polaris-fifo"].failure_rate + 0.02
+    assert results["polaris-fifo"].failure_rate \
+        <= results["polaris-fifo-noarrive"].failure_rate + 0.02
+
+
+def test_low_load_power_savings():
+    polaris = run_experiment(ExperimentConfig(
+        scheme="polaris", load_fraction=0.3, slack=40.0, **SCALE))
+    static28 = run_experiment(ExperimentConfig(
+        scheme="static-2.8", load_fraction=0.3, slack=40.0, **SCALE))
+    # The ~40 W gap of Figure 8 scales with the 8-core configuration.
+    assert static28.avg_power_watts - polaris.avg_power_watts > 15.0
+    assert polaris.failure_rate < 0.05

@@ -1,0 +1,203 @@
+"""Power meter, latency recorder, report formatting."""
+
+import random
+
+import pytest
+
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.power import PowerMeter
+from repro.metrics.report import format_series, format_table, sparkline
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# PowerMeter
+# ----------------------------------------------------------------------
+def test_meter_samples_every_second(sim):
+    meter = PowerMeter(sim, lambda: sim.now * 50.0, noise_fraction=0.0)
+    meter.start()
+    sim.schedule(5.5, sim.stop)
+    sim.run()
+    assert len(meter.samples) == 5
+    assert [t for t, _ in meter.samples] == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert all(w == pytest.approx(50.0) for _, w in meter.samples)
+
+
+def test_meter_noise_within_rating(sim):
+    meter = PowerMeter(sim, lambda: sim.now * 100.0,
+                       rng=random.Random(1), noise_fraction=0.015)
+    meter.start()
+    sim.schedule(200.0, sim.stop)
+    sim.run()
+    readings = [w for _, w in meter.samples]
+    assert all(98.5 - 1e-9 <= w <= 101.5 + 1e-9 for w in readings)
+    assert max(readings) > 100.3  # noise actually applied
+    assert min(readings) < 99.7
+
+
+def test_meter_average_over_window(sim):
+    # 10 W for 2 s, then 30 W.
+    meter = PowerMeter(sim, lambda: 10.0 * min(sim.now, 2.0)
+                       + 30.0 * max(0.0, sim.now - 2.0),
+                       noise_fraction=0.0)
+    meter.start()
+    sim.schedule(4.5, sim.stop)
+    sim.run()
+    assert meter.average_power(0.0, 2.0) == pytest.approx(10.0)
+    assert meter.average_power(2.0, 4.0) == pytest.approx(30.0)
+    assert meter.average_power() == pytest.approx(20.0)
+
+
+def test_meter_average_empty_window_raises(sim):
+    meter = PowerMeter(sim, lambda: 0.0)
+    with pytest.raises(ValueError):
+        meter.average_power()
+
+
+def test_meter_binned_average(sim):
+    meter = PowerMeter(sim, lambda: 10.0 * sim.now, noise_fraction=0.0)
+    meter.start()
+    sim.schedule(10.0, sim.stop)
+    sim.run()
+    bins = meter.binned_average(0.0, 10.0, 5.0)
+    assert len(bins) == 2
+    assert bins[0][1] == pytest.approx(10.0)
+
+
+def test_meter_stop_and_validation(sim):
+    meter = PowerMeter(sim, lambda: 0.0)
+    meter.start()
+    with pytest.raises(RuntimeError):
+        meter.start()
+    meter.stop()
+    sim.schedule(5.0, sim.stop)
+    sim.run()
+    assert meter.samples == []
+    with pytest.raises(ValueError):
+        PowerMeter(sim, lambda: 0.0, interval=0.0)
+    with pytest.raises(ValueError):
+        PowerMeter(sim, lambda: 0.0, noise_fraction=-0.1)
+
+
+# ----------------------------------------------------------------------
+# LatencyRecorder
+# ----------------------------------------------------------------------
+def finished_request(workload, arrival, latency, exec_time=None,
+                     freq=2.8, txn_type="t"):
+    request = Request(workload, txn_type, arrival, work=1.0)
+    request.dispatch_time = arrival + latency - (exec_time or latency)
+    request.finish_time = arrival + latency
+    request.dispatch_freq = freq
+    return request
+
+
+def test_recorder_failure_rates():
+    workload = Workload("w", 0.010)
+    recorder = LatencyRecorder()
+    recorder.recording = True
+    recorder.on_completion(finished_request(workload, 0.0, 0.005))
+    recorder.on_completion(finished_request(workload, 0.0, 0.020))  # miss
+    assert recorder.total_offered == 2
+    assert recorder.total_missed == 1
+    assert recorder.failure_rate == 0.5
+    assert recorder.workload_failure_rate("w") == 0.5
+    assert recorder.workload_failure_rate("other") == 0.0
+    assert recorder.workload_names() == ["w"]
+
+
+def test_recorder_ignores_when_not_recording():
+    recorder = LatencyRecorder()
+    recorder.on_completion(finished_request(Workload("w", 1.0), 0.0, 0.5))
+    assert recorder.total_offered == 0
+    assert recorder.failure_rate == 0.0
+
+
+def test_recorder_window_scopes_by_arrival():
+    workload = Workload("w", 0.010)
+    recorder = LatencyRecorder()
+    recorder.set_window(1.0, 2.0)
+    recorder.on_completion(finished_request(workload, 0.5, 0.005))  # early
+    recorder.on_completion(finished_request(workload, 1.5, 0.005))  # in
+    recorder.on_completion(finished_request(workload, 2.5, 0.005))  # late
+    assert recorder.total_offered == 1
+    # Late completion of an in-window arrival still counts.
+    recorder.on_completion(finished_request(workload, 1.9, 5.0))
+    assert recorder.total_offered == 2
+    assert recorder.total_missed == 1
+
+
+def test_recorder_window_validation():
+    with pytest.raises(ValueError):
+        LatencyRecorder().set_window(2.0, 1.0)
+
+
+def test_recorder_exec_time_stats():
+    workload = Workload("w", 10.0)
+    recorder = LatencyRecorder()
+    recorder.recording = True
+    for exec_time, freq in [(1.0, 2.8), (2.0, 2.8), (3.0, 1.2)]:
+        recorder.on_completion(finished_request(
+            workload, 0.0, exec_time, exec_time=exec_time, freq=freq,
+            txn_type="a"))
+    mean, p95, count = recorder.exec_time_stats("a", 2.8)
+    assert (mean, count) == (1.5, 2)
+    assert p95 == 2.0
+    mean_all, _, count_all = recorder.exec_time_stats("a")
+    assert (mean_all, count_all) == (2.0, 3)
+    mean_combined, _, n = recorder.combined_exec_time_stats(2.8)
+    assert (mean_combined, n) == (1.5, 2)
+    nan_mean, _, zero = recorder.exec_time_stats("missing")
+    assert zero == 0
+
+
+def test_recorder_mean_latency():
+    workload = Workload("w", 10.0)
+    recorder = LatencyRecorder()
+    recorder.recording = True
+    recorder.on_completion(finished_request(workload, 0.0, 1.0))
+    recorder.on_completion(finished_request(workload, 0.0, 3.0))
+    assert recorder.per_workload["w"].mean_latency() == pytest.approx(2.0)
+
+
+def test_percentile_function():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+    assert percentile([1.0], 95) == 1.0
+    assert percentile(list(map(float, range(1, 101))), 95) == 95.0
+    with pytest.raises(ValueError):
+        percentile([], 95)
+    with pytest.raises(ValueError):
+        percentile([1.0], 0)
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_row_width_checked():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_series():
+    text = format_series("s", [10, 20], [0.1, 0.25], "{:.2f}")
+    assert text == "s: 10=0.10 20=0.25"
+    with pytest.raises(ValueError):
+        format_series("s", [1], [1.0, 2.0])
+
+
+def test_sparkline():
+    assert sparkline([]) == ""
+    line = sparkline([0.0, 0.5, 1.0], width=3)
+    assert len(line) == 3
+    assert line[0] == " " and line[-1] == "@"
+    long = sparkline(list(range(100)), width=10)
+    assert len(long) == 10

@@ -1,0 +1,93 @@
+"""Worker request queues: FIFO and EDF disciplines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.db.queues import EdfQueue, FifoQueue
+
+
+def make_request(arrival, target=1.0):
+    return Request(Workload("w", target), "t", arrival, work=1.0)
+
+
+def test_fifo_order():
+    queue = FifoQueue()
+    first = make_request(0.0, target=9.0)   # late deadline
+    second = make_request(1.0, target=0.1)  # early deadline
+    queue.push(first)
+    queue.push(second)
+    assert queue.peek() is first
+    assert queue.pop() is first
+    assert queue.pop() is second
+    assert queue.pop() is None
+    assert queue.peek() is None
+
+
+def test_edf_orders_by_deadline():
+    queue = EdfQueue()
+    late = make_request(0.0, target=10.0)
+    early = make_request(1.0, target=0.5)
+    middle = make_request(0.5, target=3.0)
+    for request in (late, early, middle):
+        queue.push(request)
+    assert [queue.pop() for _ in range(3)] == [early, middle, late]
+
+
+def test_edf_iteration_is_edf_order():
+    queue = EdfQueue()
+    requests = [make_request(float(i), target=10.0 - i) for i in range(5)]
+    for request in requests:
+        queue.push(request)
+    deadlines = [r.deadline for r in queue]
+    assert deadlines == sorted(deadlines)
+
+
+def test_edf_ties_broken_by_arrival_id():
+    queue = EdfQueue()
+    a = make_request(0.0, target=5.0)
+    b = make_request(0.0, target=5.0)  # same deadline, created later
+    queue.push(b)
+    queue.push(a)
+    assert queue.pop() is a  # lower request id wins on equal deadline
+    assert queue.pop() is b
+
+
+def test_lengths():
+    for queue in (FifoQueue(), EdfQueue()):
+        assert len(queue) == 0
+        queue.push(make_request(0.0))
+        queue.push(make_request(1.0))
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.floats(min_value=0.01, max_value=100,
+                                    allow_nan=False)),
+                min_size=1, max_size=40))
+def test_property_edf_pop_sequence_sorted(params):
+    queue = EdfQueue()
+    requests = [make_request(arrival, target) for arrival, target in params]
+    for request in requests:
+        queue.push(request)
+    popped = []
+    while len(queue):
+        popped.append(queue.pop())
+    keys = [(r.deadline, r.request_id) for r in popped]
+    assert keys == sorted(keys)
+    assert len(popped) == len(requests)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=1, max_size=30))
+def test_property_fifo_preserves_arrival_sequence(arrivals):
+    queue = FifoQueue()
+    requests = [make_request(a) for a in arrivals]
+    for request in requests:
+        queue.push(request)
+    assert [queue.pop() for _ in requests] == requests

@@ -1,0 +1,136 @@
+"""Discrete-event engine: ordering, cancellation, run control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order(sim):
+    fired = []
+    sim.schedule(3.0, lambda: fired.append(3))
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_same_time_priority_then_fifo(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("late"), priority=5)
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(1.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("early"), priority=-5)
+    sim.run()
+    assert fired == ["early", "a", "b", "late"]
+
+
+def test_cancelled_event_skipped(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("no"))
+    sim.schedule(2.0, lambda: fired.append("yes"))
+    event.cancel()
+    sim.run()
+    assert fired == ["yes"]
+
+
+def test_run_until_advances_clock_exactly(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    sim.run()  # remaining event still fires later
+    assert fired == [1, 5]
+    assert sim.now == 5.0
+
+
+def test_schedule_during_run(sim):
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_stop_halts_run(sim):
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    # After stop, the later event is still pending.
+    assert sim.pending_count() == 1
+
+
+def test_step_processes_single_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_time_skips_cancelled(sim):
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_pending_count_excludes_cancelled(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_count() == 1
+    keep.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_reentrant_run_rejected(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+def test_property_execution_order_matches_sorted_delays(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays)
+    assert sim.now == max(delays)

@@ -1,0 +1,168 @@
+"""Tables: schema checks, CRUD, secondary-index maintenance."""
+
+import pytest
+
+from repro.db.storage.errors import DuplicateKeyError, NoSuchRowError, SchemaError
+from repro.db.storage.table import Table
+
+
+@pytest.fixture
+def items():
+    table = Table("item", ("i_id", "i_name", "i_price"), ("i_id",))
+    table.create_index("by_name", ("i_name",), ordered=True)
+    for i in range(1, 6):
+        table.insert({"i_id": i, "i_name": f"n{i}", "i_price": float(i)})
+    return table
+
+
+def test_insert_and_get(items):
+    assert items.get((3,))["i_name"] == "n3"
+    assert len(items) == 5
+    assert (3,) in items
+    assert (99,) not in items
+
+
+def test_get_returns_copy(items):
+    row = items.get((1,))
+    row["i_price"] = 999.0
+    assert items.get((1,))["i_price"] == 1.0
+
+
+def test_get_missing_raises(items):
+    with pytest.raises(NoSuchRowError):
+        items.get((42,))
+    assert items.get_or_none((42,)) is None
+
+
+def test_duplicate_pk_rejected(items):
+    with pytest.raises(DuplicateKeyError):
+        items.insert({"i_id": 1, "i_name": "x", "i_price": 0.0})
+
+
+def test_insert_requires_all_columns(items):
+    with pytest.raises(SchemaError):
+        items.insert({"i_id": 9, "i_name": "x"})
+
+
+def test_unknown_column_rejected(items):
+    with pytest.raises(SchemaError):
+        items.insert({"i_id": 9, "i_name": "x", "i_price": 1.0, "bogus": 1})
+    with pytest.raises(SchemaError):
+        items.update((1,), {"bogus": 2})
+
+
+def test_update_returns_before_after(items):
+    before, after = items.update((2,), {"i_price": 20.0})
+    assert before["i_price"] == 2.0
+    assert after["i_price"] == 20.0
+    assert items.get((2,))["i_price"] == 20.0
+
+
+def test_update_cannot_change_pk(items):
+    with pytest.raises(SchemaError):
+        items.update((2,), {"i_id": 7})
+
+
+def test_update_missing_row(items):
+    with pytest.raises(NoSuchRowError):
+        items.update((42,), {"i_price": 1.0})
+
+
+def test_delete_and_restore(items):
+    before = items.delete((4,))
+    assert before["i_name"] == "n4"
+    assert (4,) not in items
+    assert items.lookup("by_name", ("n4",)) == []
+    items.restore(before)
+    assert items.get((4,))["i_name"] == "n4"
+    assert len(items.lookup("by_name", ("n4",))) == 1
+
+
+def test_restore_clash(items):
+    with pytest.raises(DuplicateKeyError):
+        items.restore({"i_id": 1, "i_name": "dup", "i_price": 0.0})
+
+
+def test_secondary_index_follows_updates(items):
+    items.update((1,), {"i_name": "renamed"})
+    assert items.lookup("by_name", ("n1",)) == []
+    assert items.lookup("by_name", ("renamed",))[0]["i_id"] == 1
+
+
+def test_ordered_range_scan(items):
+    names = [r["i_name"] for r in items.range_scan("by_name", ("n2",),
+                                                   ("n4",))]
+    assert names == ["n2", "n3", "n4"]
+
+
+def test_range_scan_requires_ordered_index():
+    table = Table("t", ("a", "b"), ("a",))
+    table.create_index("hash_b", ("b",))
+    table.insert({"a": 1, "b": 2})
+    with pytest.raises(SchemaError):
+        list(table.range_scan("hash_b", None, None))
+
+
+def test_nonunique_index_groups_rows():
+    table = Table("t", ("a", "b"), ("a",))
+    table.create_index("by_b", ("b",), ordered=True)
+    table.create_index("by_b_hash", ("b",))
+    for a in range(6):
+        table.insert({"a": a, "b": a % 2})
+    evens = table.lookup("by_b", (0,))
+    assert sorted(r["a"] for r in evens) == [0, 2, 4]
+    assert sorted(r["a"] for r in table.lookup("by_b_hash", (0,))) == [0, 2, 4]
+    scanned = [r["a"] for r in table.range_scan("by_b", (0,), (0,))]
+    assert sorted(scanned) == [0, 2, 4]
+
+
+def test_unique_secondary_index_enforced():
+    table = Table("t", ("a", "b"), ("a",))
+    table.create_index("uniq_b", ("b",), unique=True, ordered=True)
+    table.insert({"a": 1, "b": 10})
+    with pytest.raises(DuplicateKeyError):
+        table.insert({"a": 2, "b": 10})
+    # Failed insert must leave no trace in the table or other indexes.
+    assert len(table) == 1
+    assert (2,) not in table
+
+
+def test_index_backfill_on_creation(items):
+    items.create_index("by_price", ("i_price",), ordered=True)
+    prices = [r["i_price"] for r in items.range_scan("by_price", None, None)]
+    assert prices == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_duplicate_index_name(items):
+    with pytest.raises(SchemaError):
+        items.create_index("by_name", ("i_price",))
+
+
+def test_index_unknown_column(items):
+    with pytest.raises(SchemaError):
+        items.create_index("bad", ("nope",))
+
+
+def test_schema_validation():
+    with pytest.raises(SchemaError):
+        Table("t", (), ("a",))
+    with pytest.raises(SchemaError):
+        Table("t", ("a", "a"), ("a",))
+    with pytest.raises(SchemaError):
+        Table("t", ("a",), ("b",))
+    with pytest.raises(SchemaError):
+        Table("t", ("a",), ())
+
+
+def test_scan_all_copies():
+    table = Table("t", ("a",), ("a",))
+    table.insert({"a": 1})
+    for row in table.scan_all():
+        row["a"] = 99
+    assert table.get((1,))["a"] == 1
+
+
+def test_pk_of_missing_column():
+    table = Table("t", ("a", "b"), ("a", "b"))
+    with pytest.raises(SchemaError):
+        table.pk_of({"a": 1})

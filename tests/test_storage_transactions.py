@@ -1,0 +1,218 @@
+"""Transactions: 2PL + WAL + undo; atomicity property tests; recovery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.storage.database import Database
+from repro.db.storage.errors import (
+    LockConflictError, NoSuchTableError, Rollback, TransactionAborted,
+)
+
+
+def make_db():
+    db = Database(group_commit_size=5)
+    db.create_table("kv", ("k", "v"), ("k",))
+    return db
+
+
+def test_commit_persists():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+    assert db.table("kv").get((1,))["v"] == "a"
+    assert db.locks.total_locked_resources() == 0
+
+
+def test_context_manager_aborts_on_exception():
+    db = make_db()
+    with pytest.raises(RuntimeError):
+        with db.transaction() as txn:
+            txn.insert("kv", {"k": 1, "v": "a"})
+            raise RuntimeError("boom")
+    assert (1,) not in db.table("kv")
+    assert db.locks.total_locked_resources() == 0
+
+
+def test_rollback_exception_aborts_cleanly():
+    db = make_db()
+    with pytest.raises(Rollback):
+        with db.transaction() as txn:
+            txn.insert("kv", {"k": 1, "v": "a"})
+            raise Rollback("unused item")
+    assert (1,) not in db.table("kv")
+    assert db.log.stats.aborts == 1
+
+
+def test_abort_undoes_insert_update_delete():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+        txn.insert("kv", {"k": 2, "v": "b"})
+    txn = db.transaction()
+    txn.insert("kv", {"k": 3, "v": "c"})
+    txn.update("kv", (1,), {"v": "A"})
+    txn.delete("kv", (2,))
+    txn.abort()
+    table = db.table("kv")
+    assert (3,) not in table
+    assert table.get((1,))["v"] == "a"
+    assert table.get((2,))["v"] == "b"
+
+
+def test_abort_undoes_in_reverse_order():
+    db = make_db()
+    txn = db.transaction()
+    txn.insert("kv", {"k": 1, "v": "a"})
+    txn.update("kv", (1,), {"v": "b"})
+    txn.update("kv", (1,), {"v": "c"})
+    txn.delete("kv", (1,))
+    txn.abort()
+    assert (1,) not in db.table("kv")
+
+
+def test_operations_after_commit_rejected():
+    db = make_db()
+    txn = db.transaction()
+    txn.commit()
+    with pytest.raises(TransactionAborted):
+        txn.insert("kv", {"k": 1, "v": "a"})
+    with pytest.raises(TransactionAborted):
+        txn.commit()
+
+
+def test_write_conflict_between_transactions():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+    t1 = db.transaction()
+    t2 = db.transaction()
+    t1.update("kv", (1,), {"v": "x"})
+    with pytest.raises(LockConflictError):
+        t2.get("kv", (1,))
+    t1.commit()
+    assert t2.get("kv", (1,))["v"] == "x"
+    t2.commit()
+
+
+def test_shared_readers_do_not_conflict():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+    t1 = db.transaction()
+    t2 = db.transaction()
+    assert t1.get("kv", (1,))["v"] == "a"
+    assert t2.get("kv", (1,))["v"] == "a"
+    t1.commit()
+    t2.commit()
+
+
+def test_get_for_update_takes_exclusive():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+    t1 = db.transaction()
+    t1.get("kv", (1,), for_update=True)
+    t2 = db.transaction()
+    with pytest.raises(LockConflictError):
+        t2.get("kv", (1,))
+    t1.abort()
+
+
+def test_get_or_none():
+    db = make_db()
+    with db.transaction() as txn:
+        assert txn.get_or_none("kv", (1,)) is None
+        txn.insert("kv", {"k": 1, "v": "a"})
+        assert txn.get_or_none("kv", (1,))["v"] == "a"
+
+
+def test_lookup_and_range_scan_take_read_locks():
+    db = Database()
+    table = db.create_table("t", ("a", "b"), ("a",))
+    table.create_index("by_b", ("b",), ordered=True)
+    with db.transaction() as txn:
+        for a in range(4):
+            txn.insert("t", {"a": a, "b": a % 2})
+    reader = db.transaction()
+    rows = reader.lookup("t", "by_b", (0,))
+    assert len(rows) == 2
+    scanned = list(reader.range_scan("t", "by_b", (0,), (1,)))
+    assert len(scanned) == 4
+    assert db.locks.held_count(reader.txn_id) == 4
+    reader.commit()
+
+
+def test_unknown_table():
+    db = make_db()
+    with pytest.raises(NoSuchTableError):
+        with db.transaction() as txn:
+            txn.insert("nope", {"k": 1})
+
+
+def test_counters():
+    db = make_db()
+    txn = db.transaction()
+    txn.insert("kv", {"k": 1, "v": "a"})
+    txn.get("kv", (1,))
+    txn.update("kv", (1,), {"v": "b"})
+    assert txn.reads == 1
+    assert txn.writes == 2
+    txn.commit()
+
+
+def test_recovery_round_trip():
+    db = make_db()
+    with db.transaction() as txn:
+        txn.insert("kv", {"k": 1, "v": "a"})
+        txn.insert("kv", {"k": 2, "v": "b"})
+    db.log.force()
+    # An uncommitted transaction's writes sit in the buffer and die.
+    doomed = db.transaction()
+    doomed.insert("kv", {"k": 3, "v": "c"})
+    survivors = db.log.crash()
+
+    recovered = Database()
+    recovered.create_table("kv", ("k", "v"), ("k",))
+    recovered.recover_from(survivors)
+    table = recovered.table("kv")
+    assert len(table) == 2
+    assert table.get((1,))["v"] == "a"
+    assert (3,) not in table
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["insert", "update", "delete"]),
+              st.integers(min_value=0, max_value=8),
+              st.integers(min_value=0, max_value=99)),
+    max_size=25))
+def test_property_abort_restores_exact_state(ops):
+    """Atomicity: whatever a transaction did, abort leaves the database
+    exactly as it was before the transaction began."""
+    db = make_db()
+    rng = random.Random(0)
+    with db.transaction() as txn:
+        for k in range(5):
+            txn.insert("kv", {"k": k, "v": rng.randint(0, 9)})
+    snapshot = {tuple(db.table("kv").pk_of(r)): r
+                for r in db.table("kv").scan_all()}
+
+    txn = db.transaction()
+    for op, key, value in ops:
+        try:
+            if op == "insert":
+                txn.insert("kv", {"k": key, "v": value})
+            elif op == "update":
+                txn.update("kv", (key,), {"v": value})
+            else:
+                txn.delete("kv", (key,))
+        except Exception:
+            pass  # duplicate insert / missing row: fine, txn continues
+    txn.abort()
+
+    after = {tuple(db.table("kv").pk_of(r)): r
+             for r in db.table("kv").scan_all()}
+    assert after == snapshot
+    assert db.locks.total_locked_resources() == 0

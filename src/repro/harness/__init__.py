@@ -9,14 +9,21 @@ test phase and failure rates overall and per workload.
 :mod:`repro.harness.figures` maps each table/figure of the paper's
 evaluation section onto a function that regenerates it; the benchmark
 suite and the CLI both call through here.
+
+:mod:`repro.harness.parallel` fans independent cells out over worker
+processes behind a content-addressed on-disk cache, and
+:mod:`repro.harness.profiling` accounts for where the wall time went.
 """
 
 from repro.harness.experiment import (
     ExperimentConfig, ExperimentResult, run_experiment,
 )
+from repro.harness.parallel import SweepCache, SweepRunner, run_sweep
+from repro.harness.profiling import TimingReport
 from repro.harness.schemes import SCHEMES, Scheme, scheme_named
 
 __all__ = [
     "ExperimentConfig", "ExperimentResult", "run_experiment",
+    "SweepCache", "SweepRunner", "run_sweep", "TimingReport",
     "SCHEMES", "Scheme", "scheme_named",
 ]

@@ -3,22 +3,30 @@
 Usage::
 
     polaris-repro fig6            # or: python -m repro.harness fig6
+    polaris-repro fig6 --jobs 4   # fan cells out over 4 processes
     polaris-repro fig10 --trace-seconds 300
     polaris-repro all
 
 Each command prints the same rows/series the paper's corresponding
 table or figure reports (see EXPERIMENTS.md for the mapping and for
-recorded paper-vs-measured comparisons).
+recorded paper-vs-measured comparisons), followed by a timing report.
+Grid-shaped figures run their cells through the parallel sweep runner:
+``--jobs N`` (or ``REPRO_JOBS``) controls worker processes, and results
+are cached under ``.repro-cache/`` so re-runs only simulate changed
+cells (``--no-cache`` bypasses, ``--clear-cache`` wipes).  Timing
+summaries append to ``BENCH_harness.json`` (``REPRO_BENCH_FILE``
+overrides) so harness speed is tracked over time.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict
 
 from repro.harness import figures
+from repro.harness.parallel import SweepCache, resolve_jobs
+from repro.harness.profiling import TimingReport, append_trajectory
 
 COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "fig3": lambda o: figures.fig3_exec_times(o),
@@ -51,11 +59,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace length for fig10 (paper: ~300)")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="processes for sweep cells (default: "
+                             "REPRO_JOBS or the machine's cpu count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="wipe .repro-cache/ before running")
+    parser.add_argument("--no-bench-log", action="store_true",
+                        help="skip appending to BENCH_harness.json")
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        resolved_jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
     options = figures.FigureOptions.from_env()
     if args.workers is not None:
         options.workers = args.workers
@@ -65,13 +87,25 @@ def main(argv=None) -> int:
         options.trace_seconds = args.trace_seconds
     if args.seed is not None:
         options.seed = args.seed
+    options.jobs = args.jobs
+    options.use_cache = not args.no_cache
+
+    if args.clear_cache:
+        removed = SweepCache().clear()
+        print(f"[cache cleared: {removed} entries]")
 
     names = sorted(COMMANDS) if args.figure == "all" else [args.figure]
     for name in names:
-        start = time.time()
-        result = COMMANDS[name](options)
+        report = TimingReport(name, jobs=resolved_jobs)
+        options.report = report
+        with report.phase("total"):
+            result = COMMANDS[name](options)
         print(result.render())
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        print()
+        print(report.render())
+        if not args.no_bench_log:
+            target = append_trajectory(report)
+            print(f"[timing appended to {target}]")
         print()
     return 0
 

@@ -24,6 +24,7 @@ derived from the service-time model exactly as the paper derives its
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -152,6 +153,11 @@ class ExperimentResult:
     power_timeline: List[Tuple[float, float]] = field(default_factory=list)
     load_timeline: List[float] = field(default_factory=list)
     mean_latency_by_workload: Dict[str, float] = field(default_factory=dict)
+    #: Diagnostics: simulator events executed and host wall time for this
+    #: cell.  Excluded from any figure output (they are host-dependent,
+    #: while everything above is seed-deterministic).
+    sim_events: int = 0
+    wall_seconds: float = 0.0
 
     def summary(self) -> str:
         return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
@@ -205,6 +211,7 @@ def _train_estimator(estimator: ExecutionTimeEstimator,
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute one cell and return the paper's metrics for it."""
+    wall_start = time.perf_counter()
     scheme = scheme_named(config.scheme)
     spec = BENCHMARKS[config.benchmark]()
     streams = RandomStreams(config.seed)
@@ -361,4 +368,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         power_timeline=timeline,
         load_timeline=list(config.load_trace or []),
         mean_latency_by_workload=mean_latency,
+        sim_events=sim.events_processed,
+        wall_seconds=time.perf_counter() - wall_start,
     )

@@ -21,7 +21,9 @@ from repro.core.estimator import ExecutionTimeEstimator
 from repro.core.polaris import PolarisScheduler
 from repro.core.request import Request
 from repro.core.workload import Workload
-from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+from repro.harness.parallel import SweepRunner
+from repro.harness.profiling import TimingReport
 from repro.harness.schemes import FIGURE_BASELINE_SCHEMES, VARIANT_SCHEMES
 from repro.metrics.report import format_series, format_table, sparkline
 from repro.theory.instances import (
@@ -50,6 +52,12 @@ class FigureOptions:
     trace_seconds: int = 120
     seed: int = 42
     slacks: Tuple[int, ...] = DEFAULT_SLACKS
+    #: Sweep execution: worker processes (None = --jobs / REPRO_JOBS /
+    #: cpu count) and the on-disk result cache toggle.
+    jobs: Optional[int] = None
+    use_cache: bool = True
+    #: Optional shared timing report (the CLI wires one in per figure).
+    report: Optional[TimingReport] = None
 
     @classmethod
     def from_env(cls) -> "FigureOptions":
@@ -73,6 +81,13 @@ class FigureOptions:
         for key, value in overrides.items():
             setattr(config, key, value)
         return config
+
+    def run_cells(self, configs) -> List[ExperimentResult]:
+        """Run a grid of independent cells through the sweep runner
+        (parallel where possible, cached on disk, deterministic order)."""
+        runner = SweepRunner(jobs=self.jobs, use_cache=self.use_cache,
+                             report=self.report)
+        return runner.run(configs)
 
 
 # ----------------------------------------------------------------------
@@ -107,20 +122,29 @@ class SlackSweepResult:
 def slack_sweep(benchmark: str, load_fraction: float,
                 schemes: Sequence[str], options: FigureOptions,
                 title: str, **config_overrides) -> SlackSweepResult:
-    """Run the (scheme x slack) grid the paper's slack figures plot."""
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    results: List[ExperimentResult] = []
-    for scheme in schemes:
-        points: List[Tuple[float, float]] = []
-        for slack in options.slacks:
-            config = options.base_config(
+    """Run the (scheme x slack) grid the paper's slack figures plot.
+
+    The grid is laid out scheme-major, slack-minor and dispatched as one
+    batch of independent cells, so the sweep runner can fan it out over
+    worker processes; cell order (and therefore rendered output) is
+    identical to the historical serial loop.
+    """
+    grid = [options.base_config(
                 benchmark=benchmark, scheme=scheme,
                 load_fraction=load_fraction, slack=float(slack),
                 **config_overrides)
-            result = run_experiment(config)
-            results.append(result)
+            for scheme in schemes for slack in options.slacks]
+    results = options.run_cells(grid)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    cursor = iter(results)
+    for scheme in schemes:
+        points: List[Tuple[float, float]] = []
+        label = scheme
+        for _slack in options.slacks:
+            result = next(cursor)
+            label = result.scheme_label
             points.append((result.avg_power_watts, result.failure_rate))
-        series[result.scheme_label] = points
+        series[label] = points
     return SlackSweepResult(title, tuple(options.slacks), series, results)
 
 
@@ -291,12 +315,13 @@ def fig10_worldcup(options: Optional[FigureOptions] = None) -> Fig10Result:
     options = options or FigureOptions.from_env()
     trace = synthesize_worldcup_trace(options.trace_seconds,
                                       random.Random(options.seed))
+    configs = [options.base_config(
+                   benchmark="tpcc", scheme=scheme, slack=50.0,
+                   load_trace=trace)
+               for scheme in ("conservative", "ondemand", "polaris")]
     summary: Dict[str, Tuple[float, float]] = {}
     timelines: Dict[str, List[Tuple[float, float]]] = {}
-    for scheme in ("conservative", "ondemand", "polaris"):
-        config = options.base_config(
-            benchmark="tpcc", scheme=scheme, slack=50.0, load_trace=trace)
-        result = run_experiment(config)
+    for result in options.run_cells(configs):
         summary[result.scheme_label] = (result.avg_power_watts,
                                         result.failure_rate)
         timelines[result.scheme_label] = result.power_timeline
@@ -343,14 +368,16 @@ def fig11_differentiation(options: Optional[FigureOptions] = None
     """
     options = options or FigureOptions.from_env()
     gold_ms, silver_ms = 7.5, 37.5
+    configs = [options.base_config(
+                   benchmark="tpcc", scheme=scheme, load_fraction=0.6,
+                   workload_policy="tiers",
+                   tier_targets={"gold": gold_ms * 1e-3,
+                                 "silver": silver_ms * 1e-3})
+               for scheme in ("polaris", "ondemand", "conservative",
+                              "static-2.8")]
     failures: Dict[Tuple[str, str], float] = {}
     power: Dict[str, float] = {}
-    for scheme in ("polaris", "ondemand", "conservative", "static-2.8"):
-        config = options.base_config(
-            benchmark="tpcc", scheme=scheme, load_fraction=0.6,
-            workload_policy="tiers",
-            tier_targets={"gold": gold_ms * 1e-3, "silver": silver_ms * 1e-3})
-        result = run_experiment(config)
+    for result in options.run_cells(configs):
         power[result.scheme_label] = result.avg_power_watts
         for tier in ("gold", "silver"):
             failures[(result.scheme_label, tier)] = \
@@ -413,12 +440,13 @@ def extension_worker_parking(options: Optional[FigureOptions] = None
     negative result that packing loses under per-core DVFS.
     """
     options = options or FigureOptions.from_env()
+    configs = [options.base_config(
+                   benchmark="tpcc", scheme="polaris", load_fraction=0.3,
+                   slack=10.0, routing=routing, cstate_ladder=ladder)
+               for routing, ladder in PARKING_GRID]
     cells: Dict[Tuple[str, str], Tuple[float, float]] = {}
-    for routing, ladder in PARKING_GRID:
-        config = options.base_config(
-            benchmark="tpcc", scheme="polaris", load_fraction=0.3,
-            slack=10.0, routing=routing, cstate_ladder=ladder)
-        result = run_experiment(config)
+    for (routing, ladder), result in zip(PARKING_GRID,
+                                         options.run_cells(configs)):
         cells[(routing, ladder)] = (result.avg_power_watts,
                                     result.failure_rate)
     return ParkingResult(cells)

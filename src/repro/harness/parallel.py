@@ -1,0 +1,301 @@
+"""Parallel sweep execution with a content-addressed on-disk cache.
+
+Every figure reproduction is a grid of fully independent,
+seed-deterministic :class:`ExperimentConfig` cells.  :class:`SweepRunner`
+exploits both properties:
+
+* **Parallelism** --- cache misses fan out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each cell is an isolated
+  simulation with its own RNG streams, so results are independent of
+  worker assignment, and the runner returns them in submission order ---
+  parallel output is byte-identical to serial.
+* **Caching** --- each cell's result is stored on disk under a key that
+  hashes the full config dataclass **and** a digest of the
+  :mod:`repro` package's source code.  Re-running a figure only
+  simulates cells whose config changed; editing any source file under
+  ``repro/`` invalidates everything (coarse, but sound --- a stale
+  figure is worse than a re-run).
+
+Worker count resolves ``jobs`` argument > ``REPRO_JOBS`` env >
+``os.cpu_count()``.  ``jobs=1`` runs serially in-process (no executor),
+which is also the fallback wherever process pools are unavailable.
+
+Cache layout (see README):
+
+.. code-block:: text
+
+    .repro-cache/
+      <2-char prefix>/<sha256>.pkl    # one pickled ExperimentResult
+
+``SweepRunner(use_cache=False)`` bypasses reads and writes;
+:meth:`SweepCache.clear` (CLI: ``--clear-cache``) wipes the tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+import repro
+from repro.harness.experiment import (
+    ExperimentConfig, ExperimentResult, run_experiment,
+)
+from repro.harness.profiling import TimingReport
+
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate every cache entry without touching source files
+#: (e.g. when the pickle layout of ExperimentResult changes).
+CACHE_SCHEMA_VERSION = 1
+
+_code_salt_memo: Optional[str] = None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > cpu count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}") from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def code_version_salt() -> str:
+    """Digest of every ``.py`` file in the :mod:`repro` package.
+
+    Any source edit changes the salt, so cached results can never
+    outlive the code that produced them.  Memoized per process (~150
+    small files, a few milliseconds once).
+    """
+    global _code_salt_memo
+    if _code_salt_memo is None:
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_salt_memo = digest.hexdigest()
+    return _code_salt_memo
+
+
+def config_key(config: ExperimentConfig, salt: Optional[str] = None) -> str:
+    """Content address of one cell: config fields + code version."""
+    payload = {
+        "config": asdict(config),
+        "salt": salt if salt is not None else code_version_salt(),
+        "schema": CACHE_SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class SweepCache:
+    """Pickle-per-key result store under ``root`` (``.repro-cache/``)."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root if root is not None
+                         else os.environ.get(CACHE_DIR_ENV,
+                                             DEFAULT_CACHE_DIR))
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result, or ``None`` on miss or unreadable entry."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # A torn/corrupt/stale entry raises whatever the pickle
+            # opcodes stumble on (UnpicklingError, ValueError, EOFError,
+            # ImportError, ...); any unreadable entry is simply a miss.
+            return None
+        return result if isinstance(result, ExperimentResult) else None
+
+    def put(self, key: str, result: ExperimentResult) -> None:
+        """Store atomically (write temp, rename) so readers never see a
+        torn entry even with concurrent sweeps on one machine."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for sub in sorted(self.root.rglob("*"), reverse=True):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+
+def _run_cell(config: ExperimentConfig) -> ExperimentResult:
+    """Top-level so ProcessPoolExecutor can pickle it by reference."""
+    return run_experiment(config)
+
+
+def _cell_label(config: ExperimentConfig) -> str:
+    return (f"{config.benchmark}/{config.scheme}"
+            f"/load={config.load_fraction:g}/slack={config.slack:g}")
+
+
+@dataclass
+class SweepStats:
+    """What the last :meth:`SweepRunner.run` did."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    #: per-cell wall seconds, aligned with the submitted config order.
+    cell_seconds: List[float] = field(default_factory=list)
+
+
+class SweepRunner:
+    """Runs independent experiment cells, in parallel, through the cache.
+
+    Results always come back in the order the configs were given ---
+    callers observe serial semantics regardless of ``jobs``.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 use_cache: bool = True,
+                 report: Optional[TimingReport] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = SweepCache(cache_dir)
+        self.use_cache = use_cache
+        self.report = report
+        self.stats = SweepStats()
+
+    def run(self, configs: Sequence[ExperimentConfig]
+            ) -> List[ExperimentResult]:
+        """Execute (or recall) every cell; deterministic output order."""
+        start = time.perf_counter()
+        configs = list(configs)
+        results: List[Optional[ExperimentResult]] = [None] * len(configs)
+        cell_seconds = [0.0] * len(configs)
+        salt = code_version_salt() if self.use_cache else None
+        keys: List[Optional[str]] = [None] * len(configs)
+
+        misses: List[int] = []
+        hits = 0
+        for i, config in enumerate(configs):
+            if self.use_cache:
+                keys[i] = config_key(config, salt)
+                cached = self.cache.get(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+                    if self.report is not None:
+                        self.report.record_cell(
+                            _cell_label(config), cached=True,
+                            wall_seconds=0.0,
+                            sim_events=cached.sim_events)
+                    continue
+            misses.append(i)
+
+        def finish(i: int, result: ExperimentResult) -> None:
+            # Cache each cell the moment it lands, so an interrupted
+            # sweep resumes from the cells it already finished.
+            results[i] = result
+            cell_seconds[i] = result.wall_seconds
+            if self.use_cache and keys[i] is not None:
+                self.cache.put(keys[i], result)
+            if self.report is not None:
+                self.report.record_cell(
+                    _cell_label(configs[i]), cached=False,
+                    wall_seconds=result.wall_seconds,
+                    sim_events=result.sim_events)
+
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                self._run_parallel(configs, misses, finish)
+            else:
+                for i in misses:
+                    finish(i, _run_cell(configs[i]))
+
+        self.stats = SweepStats(
+            cells=len(configs), cache_hits=hits, executed=len(misses),
+            wall_seconds=time.perf_counter() - start,
+            cell_seconds=cell_seconds)
+        return [r for r in results if r is not None]
+
+    def _run_parallel(self, configs: Sequence[ExperimentConfig],
+                      misses: Sequence[int],
+                      finish: Callable[[int, ExperimentResult], None]
+                      ) -> None:
+        workers = min(self.jobs, len(misses))
+        finished = set()
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                future_index = {
+                    pool.submit(_run_cell, configs[i]): i for i in misses}
+                pending = set(future_index)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = future_index[future]
+                        finish(i, future.result())
+                        finished.add(i)
+        except (OSError, PermissionError):
+            # Environments without process spawning (sandboxes, some
+            # CI runners): degrade to serial rather than fail the sweep.
+            for i in misses:
+                if i not in finished:
+                    finish(i, _run_cell(configs[i]))
+
+
+def run_sweep(configs: Sequence[ExperimentConfig],
+              jobs: Optional[int] = None,
+              use_cache: bool = True,
+              cache_dir: Optional[os.PathLike] = None,
+              report: Optional[TimingReport] = None
+              ) -> List[ExperimentResult]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir,
+                         use_cache=use_cache, report=report)
+    return runner.run(configs)
+
+
+__all__ = [
+    "CACHE_DIR_ENV", "DEFAULT_CACHE_DIR", "JOBS_ENV", "SweepCache",
+    "SweepRunner", "SweepStats", "code_version_salt", "config_key",
+    "resolve_jobs", "run_sweep",
+]

@@ -1,0 +1,170 @@
+"""Lightweight wall-clock accounting for the experiment harness.
+
+Every sweep produces a :class:`TimingReport`: per-phase wall time,
+per-cell wall time and simulator events/second, and cache hit counts.
+The CLI renders the report after each figure and appends a compact
+summary entry to a ``BENCH_harness.json`` trajectory file, so harness
+speed (serial vs ``--jobs N``, cold vs warm cache) is tracked
+PR-over-PR.
+
+The trajectory file is a JSON object ``{"runs": [...]}``; each entry
+records what was run, how it was run (jobs, cache hits) and how fast it
+went.  Entries are appended, never rewritten, so the file is a
+time-ordered log.  Set ``REPRO_BENCH_FILE`` to redirect it (the default
+is ``BENCH_harness.json`` in the current directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+BENCH_FILE_ENV = "REPRO_BENCH_FILE"
+DEFAULT_BENCH_FILE = "BENCH_harness.json"
+
+
+@dataclass
+class CellTiming:
+    """One sweep cell's execution record."""
+
+    label: str
+    cached: bool
+    wall_seconds: float
+    sim_events: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0 or self.sim_events <= 0:
+            return 0.0
+        return self.sim_events / self.wall_seconds
+
+
+@dataclass
+class TimingReport:
+    """Wall-time accounting for one harness invocation (e.g. one figure)."""
+
+    name: str
+    jobs: int = 1
+    phases: Dict[str, float] = field(default_factory=dict)
+    cells: List[CellTiming] = field(default_factory=list)
+    started_at: float = field(default_factory=time.time)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; re-entering a name accumulates."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def record_cell(self, label: str, cached: bool, wall_seconds: float,
+                    sim_events: int = 0) -> None:
+        self.cells.append(CellTiming(label, cached, wall_seconds, sim_events))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def total_sim_events(self) -> int:
+        return sum(c.sim_events for c in self.cells)
+
+    def aggregate_events_per_sec(self) -> float:
+        """Simulated events per wall second, over executed (uncached)
+        cells only --- the harness's end-to-end simulation throughput."""
+        executed = [c for c in self.cells if not c.cached]
+        wall = sum(c.wall_seconds for c in executed)
+        events = sum(c.sim_events for c in executed)
+        return events / wall if wall > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        out = [f"timing [{self.name}] jobs={self.jobs}"]
+        for phase, seconds in self.phases.items():
+            out.append(f"  {phase:24s} {seconds:8.2f} s")
+        if self.cells:
+            out.append(
+                f"  cells: {len(self.cells)} "
+                f"({self.cache_hits} cached, {self.cache_misses} simulated)")
+            rate = self.aggregate_events_per_sec()
+            if rate > 0:
+                out.append(f"  simulated events/sec: {rate:,.0f}")
+            slowest = max(self.cells, key=lambda c: c.wall_seconds)
+            out.append(f"  slowest cell: {slowest.label} "
+                       f"({slowest.wall_seconds:.2f} s)")
+        return "\n".join(out)
+
+    def to_entry(self) -> Dict[str, object]:
+        """The compact summary appended to the trajectory file."""
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "jobs": self.jobs,
+            "phases": {k: round(v, 4) for k, v in self.phases.items()},
+            "wall_seconds": round(self.total_wall_seconds, 4),
+            "cells": len(self.cells),
+            "cache_hits": self.cache_hits,
+            "sim_events": self.total_sim_events,
+            "events_per_sec": round(self.aggregate_events_per_sec(), 1),
+        }
+
+
+def bench_file_path(path: Optional[str] = None) -> Path:
+    return Path(path or os.environ.get(BENCH_FILE_ENV, DEFAULT_BENCH_FILE))
+
+
+def append_trajectory(report: TimingReport,
+                      path: Optional[str] = None) -> Path:
+    """Append ``report``'s summary entry to the trajectory file."""
+    target = bench_file_path(path)
+    data: Dict[str, List[Dict[str, object]]] = {"runs": []}
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                    loaded.get("runs"), list):
+                data = loaded
+        except (ValueError, OSError):
+            pass  # corrupt trajectory: start a fresh log rather than die
+    data["runs"].append(report.to_entry())
+    target.write_text(json.dumps(data, indent=2) + "\n")
+    return target
+
+
+def load_trajectory(path: Optional[str] = None) -> List[Dict[str, object]]:
+    """All recorded runs (empty if the file is missing or corrupt)."""
+    target = bench_file_path(path)
+    if not target.exists():
+        return []
+    try:
+        loaded = json.loads(target.read_text())
+    except (ValueError, OSError):
+        return []
+    runs = loaded.get("runs") if isinstance(loaded, dict) else None
+    return runs if isinstance(runs, list) else []
+
+
+__all__ = [
+    "CellTiming", "TimingReport", "append_trajectory", "bench_file_path",
+    "load_trajectory",
+]

@@ -15,6 +15,10 @@ Design notes
 * Cancellation is O(1): events carry a ``cancelled`` flag and are skipped
   when popped.  This matches how the CPU core model reschedules a
   transaction's completion when POLARIS changes the frequency mid-run.
+  To keep reschedule-heavy runs (every frequency change cancels and
+  re-adds a completion event) from growing the heap unboundedly, the
+  simulator compacts the heap in place once cancelled garbage dominates;
+  the amortized cost per cancellation stays O(log n).
 * Callbacks receive no arguments; use :func:`functools.partial` or
   closures to bind state.  This keeps the hot loop free of argument
   plumbing.
@@ -24,6 +28,12 @@ from __future__ import annotations
 
 import heapq
 from typing import Callable, List, Optional
+
+#: Compaction triggers when the heap holds more than this many cancelled
+#: events *and* they outnumber the live ones.  Small enough to bound
+#: memory on reschedule-heavy runs, large enough that compaction cost is
+#: amortized over many cancellations.
+COMPACTION_MIN_GARBAGE = 64
 
 
 class SimulationError(RuntimeError):
@@ -38,26 +48,52 @@ class Event:
     :attr:`time`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_sim")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[[], None]):
+                 callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark this event so the engine skips it when its time comes."""
+        """Mark this event so the engine skips it when its time comes.
+
+        Cancelling an event that already fired (or was already
+        cancelled) is a harmless no-op: the live-event accounting is
+        only adjusted the first time a still-pending event is cancelled.
+        """
+        if self.cancelled or self.callback is None:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            sim._stale += 1
+            if (sim._stale > COMPACTION_MIN_GARBAGE
+                    and sim._stale > sim._live):
+                sim._compact()
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run (the engine clears it)."""
+        return self.callback is None and not self.cancelled
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
             other.time, other.priority, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.callback is None:
+            state = "fired"
+        else:
+            state = "pending"
         return f"<Event t={self.time:.9f} prio={self.priority} {state}>"
 
 
@@ -80,6 +116,12 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        #: live (scheduled, not cancelled, not fired) events in the heap.
+        self._live: int = 0
+        #: cancelled events still occupying heap slots.
+        self._stale: int = 0
+        #: total callbacks executed over this simulator's lifetime.
+        self.events_processed: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,8 +145,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self.now})")
         self._seq += 1
-        event = Event(time, priority, self._seq, callback)
+        event = Event(time, priority, self._seq, callback, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     # ------------------------------------------------------------------
@@ -121,19 +164,31 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stopped = False
+        # Local bindings shave attribute lookups off the per-event cost;
+        # the heap list itself is mutated only in place (including by
+        # _compact), so the local reference stays valid.
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
+            while heap and not self._stopped:
+                event = heap[0]
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
+                heappop(heap)
+                callback = event.callback
+                if event.cancelled or callback is None:
+                    self._stale -= 1
                     continue
+                event.callback = None  # marks it fired; frees the closure
+                self._live -= 1
                 self.now = event.time
-                event.callback()
+                processed += 1
+                callback()
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
+            self.events_processed += processed
             self._running = False
 
     def step(self) -> bool:
@@ -142,12 +197,18 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         Useful in tests that want to observe intermediate states.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            callback = event.callback
+            if event.cancelled or callback is None:
+                self._stale -= 1
                 continue
+            event.callback = None
+            self._live -= 1
             self.now = event.time
-            event.callback()
+            self.events_processed += 1
+            callback()
             return True
         return False
 
@@ -159,11 +220,31 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1))."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or ``None`` if drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._stale -= 1
+        return heap[0].time if heap else None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap, in place.
+
+        In-place mutation keeps any outstanding local references to the
+        heap list (e.g. inside a running :meth:`run` loop) valid.
+        """
+        live = [e for e in self._heap if not e.cancelled]
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._stale = 0
+
+    def heap_size(self) -> int:
+        """Heap slots in use, including cancelled garbage (diagnostics)."""
+        return len(self._heap)

@@ -9,6 +9,14 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_harness_paths(tmp_path, monkeypatch):
+    """Keep the sweep cache and bench trajectory out of the repo during
+    tests: both default to the current directory otherwise."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_BENCH_FILE", str(tmp_path / "bench.json"))
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -6,7 +6,10 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.estimator import ExecutionTimeEstimator, SlidingWindowPercentile
+from repro.core.estimator import (
+    ExecutionTimeEstimator, ListSlidingWindowPercentile,
+    SlidingWindowPercentile,
+)
 
 
 def reference_percentile(values, p):
@@ -83,6 +86,58 @@ def test_property_matches_reference_over_window(values, window, percentile):
         tracker.observe(v)
     expected = reference_percentile(values[-window:], percentile)
     assert tracker.value() == expected
+
+
+# ----------------------------------------------------------------------
+# Chunked structure vs the plain-list reference implementation
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=400),
+    window=st.integers(min_value=1, max_value=120),
+    percentile=st.floats(min_value=1.0, max_value=100.0))
+def test_property_chunked_agrees_with_list_impl(values, window, percentile):
+    """The chunked tracker must be observationally identical to the
+    plain-list implementation it replaced: same value() after every
+    observe, same final window contents."""
+    chunked = SlidingWindowPercentile(window, percentile)
+    listy = ListSlidingWindowPercentile(window, percentile)
+    for v in values:
+        chunked.observe(v)
+        listy.observe(v)
+        assert chunked.value() == listy.value()
+    assert len(chunked) == len(listy)
+    assert chunked.full == listy.full
+    assert list(chunked._sorted) == list(listy._sorted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from([0.0, 1.0, 1.0, 2.0, 3.0]),
+                min_size=1, max_size=300))
+def test_property_chunked_agrees_on_heavy_duplicates(values):
+    """Duplicate-dense streams stress the eviction bookkeeping (many
+    equal keys in the same and adjacent chunks)."""
+    chunked = SlidingWindowPercentile(window=7, percentile=95)
+    listy = ListSlidingWindowPercentile(window=7, percentile=95)
+    for v in values:
+        chunked.observe(v)
+        listy.observe(v)
+    assert chunked.value() == listy.value()
+    assert list(chunked._sorted) == list(listy._sorted)
+
+
+def test_chunked_splits_past_chunk_capacity():
+    """A window far beyond one chunk still matches the reference."""
+    chunked = SlidingWindowPercentile(window=1000, percentile=95)
+    listy = ListSlidingWindowPercentile(window=1000, percentile=95)
+    rng = random.Random(7)
+    for _ in range(3000):
+        v = rng.expovariate(1.0)
+        chunked.observe(v)
+        listy.observe(v)
+    assert chunked.value() == listy.value()
+    assert list(chunked._sorted) == list(listy._sorted)
 
 
 # ----------------------------------------------------------------------

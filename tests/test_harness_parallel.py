@@ -1,0 +1,250 @@
+"""Parallel sweep runner: equivalence, caching, key discipline."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.figures import FigureOptions, slack_sweep
+from repro.harness.parallel import (
+    SweepCache, SweepRunner, code_version_salt, config_key, resolve_jobs,
+    run_sweep,
+)
+from repro.harness.profiling import TimingReport, append_trajectory, load_trajectory
+
+FAST = dict(workers=2, warmup_seconds=0.3, test_seconds=0.8, seed=5)
+
+
+def small_grid():
+    return [ExperimentConfig(scheme=scheme, slack=slack, **FAST)
+            for scheme in ("polaris", "static-2.8")
+            for slack in (10.0, 70.0)]
+
+
+def comparable(result):
+    """Every seed-deterministic field (drops host-dependent timing)."""
+    return (result.scheme_label, result.avg_power_watts,
+            result.failure_rate, result.offered, result.completed,
+            result.missed, result.rejected, result.throughput,
+            result.per_workload_failure, result.freq_residency,
+            result.cpu_energy_joules, result.wall_energy_joules)
+
+
+# ----------------------------------------------------------------------
+# jobs resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(2) == 2
+    assert resolve_jobs() == 3
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs() >= 1
+
+
+def test_resolve_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def test_config_key_stable_and_sensitive():
+    a = ExperimentConfig(scheme="polaris", slack=10.0, **FAST)
+    b = ExperimentConfig(scheme="polaris", slack=10.0, **FAST)
+    assert config_key(a) == config_key(b)
+    changed = dataclasses.replace(a, seed=a.seed + 1)
+    assert config_key(changed) != config_key(a)
+    # Every config field participates in the key.
+    assert config_key(dataclasses.replace(a, slack=11.0)) != config_key(a)
+    assert config_key(
+        dataclasses.replace(a, routing="packing")) != config_key(a)
+
+
+def test_config_key_salt_invalidates():
+    """A code-version change must miss the old entries."""
+    config = ExperimentConfig(scheme="polaris", slack=10.0, **FAST)
+    assert config_key(config, salt="v1") != config_key(config, salt="v2")
+    assert config_key(config) == config_key(config, code_version_salt())
+
+
+def test_code_version_salt_is_memoized():
+    assert code_version_salt() == code_version_salt()
+    assert len(code_version_salt()) == 64
+
+
+# ----------------------------------------------------------------------
+# cache store
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_clear(tmp_path):
+    cache = SweepCache(tmp_path / "c")
+    config = ExperimentConfig(scheme="static-2.8", slack=40.0, **FAST)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    (result,) = runner.run([config])
+    key = config_key(config)
+    restored = cache.get(key)
+    assert restored is not None
+    assert comparable(restored) == comparable(result)
+    assert cache.entry_count() == 1
+    assert cache.clear() == 1
+    assert cache.get(key) is None
+    assert cache.entry_count() == 0
+
+
+def test_cache_tolerates_corrupt_entry(tmp_path):
+    cache = SweepCache(tmp_path / "c")
+    config = ExperimentConfig(scheme="static-2.8", slack=40.0, **FAST)
+    key = config_key(config)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    # 'g' is a pickle GET opcode whose operand parse raises ValueError,
+    # a different failure family than UnpicklingError.
+    path.write_bytes(b"garbage\n")
+    assert cache.get(key) is None
+    # A wrong-typed pickle is also a miss, not a crash.
+    path.write_bytes(pickle.dumps({"nope": 1}))
+    assert cache.get(key) is None
+    # And the runner recovers by re-simulating.
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    (result,) = runner.run([config])
+    assert result.avg_power_watts > 0
+    assert runner.stats.executed == 1
+
+
+# ----------------------------------------------------------------------
+# runner semantics
+# ----------------------------------------------------------------------
+def test_second_run_is_all_cache_hits(tmp_path):
+    grid = small_grid()
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    first = runner.run(grid)
+    assert runner.stats.executed == len(grid)
+    assert runner.stats.cache_hits == 0
+    second = runner.run(grid)
+    assert runner.stats.executed == 0
+    assert runner.stats.cache_hits == len(grid)
+    assert [comparable(r) for r in first] == [comparable(r) for r in second]
+
+
+def test_changed_cell_only_reruns_that_cell(tmp_path):
+    grid = small_grid()
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    runner.run(grid)
+    grid[2] = dataclasses.replace(grid[2], seed=99)
+    runner.run(grid)
+    assert runner.stats.cache_hits == len(grid) - 1
+    assert runner.stats.executed == 1
+
+
+def test_interrupted_sweep_resumes_from_partial_cache(tmp_path):
+    """Cells are cached as they finish, not at sweep end, so an
+    interrupted sweep resumes from what it already simulated."""
+    grid = small_grid()
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    calls = []
+    original_put = runner.cache.put
+
+    def put_then_die(key, result):
+        original_put(key, result)
+        calls.append(key)
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+
+    runner.cache.put = put_then_die
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(grid)
+    resumed = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    resumed.run(grid)
+    assert resumed.stats.cache_hits == 2
+    assert resumed.stats.executed == 2
+
+
+def test_no_cache_mode_never_touches_disk(tmp_path):
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c", use_cache=False)
+    runner.run(small_grid()[:1])
+    assert not (tmp_path / "c").exists()
+
+
+def test_parallel_matches_serial_cell_for_cell(tmp_path):
+    """The Fig. 6-shaped equivalence the tentpole promises: a (scheme x
+    slack) grid run with jobs=2 is value-identical to jobs=1."""
+    grid = small_grid()
+    serial = run_sweep(grid, jobs=1, use_cache=False)
+    parallel = run_sweep(grid, jobs=2, use_cache=False)
+    assert len(serial) == len(parallel) == len(grid)
+    for s, p in zip(serial, parallel):
+        assert comparable(s) == comparable(p)
+
+
+def test_parallel_populates_cache_for_serial(tmp_path):
+    """Cache entries are execution-mode agnostic."""
+    grid = small_grid()
+    run_sweep(grid, jobs=2, cache_dir=tmp_path / "c")
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    runner.run(grid)
+    assert runner.stats.cache_hits == len(grid)
+
+
+def test_slack_sweep_parallel_render_identical(tmp_path):
+    """Figure-level equivalence: rendered rows are byte-identical."""
+    base = dict(workers=2, warmup_seconds=0.3, test_seconds=0.8,
+                seed=5, slacks=(10, 70), use_cache=False)
+    serial = slack_sweep("tpcc", 0.6, ("polaris", "static-2.8"),
+                         FigureOptions(jobs=1, **base), "sweep")
+    parallel = slack_sweep("tpcc", 0.6, ("polaris", "static-2.8"),
+                           FigureOptions(jobs=2, **base), "sweep")
+    assert serial.render() == parallel.render()
+    assert serial.series == parallel.series
+
+
+def test_runner_reports_cells(tmp_path):
+    report = TimingReport("unit", jobs=1)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c", report=report)
+    grid = small_grid()[:2]
+    runner.run(grid)
+    runner.run(grid)
+    assert len(report.cells) == 4
+    assert report.cache_hits == 2
+    assert report.cache_misses == 2
+    executed = [c for c in report.cells if not c.cached]
+    assert all(c.sim_events > 0 for c in executed)
+    assert all(c.wall_seconds > 0 for c in executed)
+    assert report.aggregate_events_per_sec() > 0
+    assert "cells: 4" in report.render()
+
+
+# ----------------------------------------------------------------------
+# trajectory file
+# ----------------------------------------------------------------------
+def test_trajectory_appends(tmp_path):
+    target = tmp_path / "bench.json"
+    report = TimingReport("fig6", jobs=2)
+    with report.phase("total"):
+        pass
+    append_trajectory(report, str(target))
+    append_trajectory(report, str(target))
+    runs = load_trajectory(str(target))
+    assert len(runs) == 2
+    assert runs[0]["name"] == "fig6"
+    assert runs[0]["jobs"] == 2
+    assert "wall_seconds" in runs[0]
+
+
+def test_trajectory_survives_corrupt_file(tmp_path):
+    target = tmp_path / "bench.json"
+    target.write_text("{broken")
+    report = TimingReport("fig6")
+    append_trajectory(report, str(target))
+    assert len(load_trajectory(str(target))) == 1
+    assert load_trajectory(str(tmp_path / "missing.json")) == []
+
+
+def test_cli_flags(tmp_path, monkeypatch):
+    from repro.harness.cli import build_parser
+    args = build_parser().parse_args(
+        ["fig6", "--jobs", "4", "--no-cache", "--clear-cache"])
+    assert args.jobs == 4
+    assert args.no_cache and args.clear_cache

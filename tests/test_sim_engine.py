@@ -134,3 +134,95 @@ def test_property_execution_order_matches_sorted_delays(delays):
     sim.run()
     assert fired == sorted(delays)
     assert sim.now == max(delays)
+
+
+# ----------------------------------------------------------------------
+# Live-event accounting and cancelled-garbage compaction
+# ----------------------------------------------------------------------
+def test_cancel_after_fire_is_noop(sim):
+    """Regression: cancelling an already-executed event must neither
+    raise nor corrupt the live-event counter."""
+    event = sim.schedule(1.0, lambda: None)
+    later = sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert event.fired
+    event.cancel()  # harmless no-op
+    event.cancel()  # idempotent
+    assert not event.cancelled
+    assert sim.pending_count() == 1
+    later.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_cancel_twice_counts_once(sim):
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending_count() == 1
+
+
+def test_cancel_during_run_reflected_in_pending_count(sim):
+    victim = sim.schedule(2.0, lambda: None)
+
+    def killer():
+        victim.cancel()
+        assert sim.pending_count() == 0
+
+    sim.schedule(1.0, killer)
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_pending_count_tracks_schedule_pop_cancel(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_count() == 5
+    sim.step()
+    assert sim.pending_count() == 4
+    events[2].cancel()
+    assert sim.pending_count() == 3
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_events_processed_counts_only_fired(sim):
+    fired = sim.schedule(1.0, lambda: None)
+    dropped = sim.schedule(2.0, lambda: None)
+    dropped.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+    assert fired.fired and not dropped.fired
+
+
+def test_compaction_bounds_heap_garbage(sim):
+    """Reschedule churn (the POLARIS frequency-change pattern) must not
+    grow the heap without bound."""
+    from repro.sim.engine import COMPACTION_MIN_GARBAGE
+    live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+    for i in range(10000):
+        sim.schedule(1.0 + i * 1e-6, lambda: None).cancel()
+    assert sim.pending_count() == 10
+    # Garbage is kept below the live count once past the floor.
+    assert sim.heap_size() <= 10 + COMPACTION_MIN_GARBAGE + 1
+    sim.run(until=500.0)
+    assert sim.now == 500.0
+    for event in live:
+        event.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_compaction_preserves_order_and_results(sim):
+    """Interleave schedules and cancels past the compaction threshold;
+    surviving events still fire in exact (time, priority, seq) order."""
+    fired = []
+    keep = []
+    for i in range(500):
+        event = sim.schedule(1.0 + (i * 7919 % 500),
+                             lambda i=i: fired.append(i))
+        if i % 3 == 0:
+            keep.append((1.0 + (i * 7919 % 500), i))
+        else:
+            event.cancel()
+    sim.run()
+    assert fired == [i for _t, i in sorted(keep)]
+    assert sim.pending_count() == 0

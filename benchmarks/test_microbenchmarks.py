@@ -38,6 +38,78 @@ def test_bench_event_loop_throughput(benchmark):
     assert benchmark(run) == 10000
 
 
+def _event_loop_ticks(sanitize, ticks=10000):
+    sim = Simulator(sanitize=sanitize)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < ticks:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
+def test_bench_simsan_off_is_noop(benchmark, monkeypatch):
+    """With the sanitizer off, the hooks must be dead branches.
+
+    Timing comparisons are noisy, so the no-op claim is proven
+    deterministically: count sanitize_check invocations.  Zero with the
+    sanitizer off, nonzero with it on --- the only disabled-mode cost
+    left is one pre-resolved boolean test per event.
+    """
+    calls = []
+    original = Simulator.sanitize_check
+
+    def counting(self):
+        calls.append(1)
+        return original(self)
+
+    monkeypatch.setattr(Simulator, "sanitize_check", counting)
+    assert benchmark(_event_loop_ticks, False) == 10000
+    assert calls == []  # no hook ever fired while disabled
+    _event_loop_ticks(True)
+    assert calls  # and they do fire when enabled
+
+
+def test_bench_simsan_on_overhead_recorded(benchmark):
+    """Measure the sanitizer's enabled overhead and log it to the bench
+    trajectory (``REPRO_BENCH_FILE``, default ``BENCH_harness.json``) so
+    the cost of running figures under ``REPRO_SIMSAN=1`` is tracked
+    PR-over-PR."""
+    from repro.harness.profiling import (
+        TimingReport, append_trajectory, load_trajectory, perf_clock,
+    )
+
+    def best_of(sanitize, repeats=3):
+        _event_loop_ticks(sanitize)  # warm
+        best = float("inf")
+        for _ in range(repeats):
+            start = perf_clock()
+            _event_loop_ticks(sanitize)
+            best = min(best, perf_clock() - start)
+        return best
+
+    off = best_of(False)
+    on = best_of(True)
+    assert benchmark(_event_loop_ticks, True) == 10000
+    # Per-event cost is one comparison; the O(heap) sweep runs once per
+    # run() and per compaction.  Generous bound: catches only a hook
+    # accidentally landing on the per-event path.
+    assert on < off * 5, f"simsan on {on:.4f}s vs off {off:.4f}s"
+
+    report = TimingReport(name="simsan-overhead", jobs=1)
+    report.phases["simsan_off"] = off
+    report.phases["simsan_on"] = on
+    report.phases["overhead_ratio"] = on / off
+    append_trajectory(report)
+    recorded = load_trajectory()
+    assert recorded[-1]["name"] == "simsan-overhead"
+    assert "simsan_on" in recorded[-1]["phases"]
+
+
 def test_bench_percentile_tracker_observe(benchmark):
     tracker = SlidingWindowPercentile(window=1000, percentile=95)
     rng = random.Random(0)

@@ -1,0 +1,13 @@
+"""Entry point: ``python -m repro.analysis [paths...]``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Output piped into head/less that exited early; not an error.
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

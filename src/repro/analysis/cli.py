@@ -1,0 +1,84 @@
+"""``python -m repro.analysis`` --- the reprolint command line.
+
+Exit status is 1 when any unsuppressed finding remains (CI fails on
+it), 2 on usage errors, 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import rules  # noqa: F401 - populates the registry
+from repro.analysis.linter import (
+    RULE_REGISTRY, iter_python_files, lint_file, render_json, render_text,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("reprolint: determinism/invariant lint rules for "
+                     "the POLARIS reproduction"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also report findings silenced by "
+             "`# reprolint: disable` comments")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for code, cls in sorted(RULE_REGISTRY.items()):
+        lines.append(f"{code}  {cls.name:<22} {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",")
+                  if c.strip()]
+        unknown = [c for c in select if c not in RULE_REGISTRY]
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+
+    files = list(iter_python_files(args.paths))
+    findings = []
+    for path in files:
+        findings.extend(lint_file(
+            path, select=select,
+            include_suppressed=args.show_suppressed))
+
+    if args.format == "json":
+        print(render_json(findings, files_checked=len(files)))
+    else:
+        print(render_text(findings, files_checked=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "list_rules", "main"]

@@ -1,0 +1,303 @@
+"""reprolint --- an AST lint framework for determinism/invariant rules.
+
+The framework is deliberately small: a rule is a class with a ``code``
+(``RL###``), a ``name``, and a ``check(ctx)`` generator yielding
+:class:`Finding` objects; rules register themselves with
+:func:`register` and :func:`lint_source` runs every registered (or
+selected) rule over one parsed file.  The rules themselves live in
+:mod:`repro.analysis.rules` and are specific to this codebase's
+determinism contract --- see that module and ``README.md`` for the rule
+table.
+
+Suppressions
+------------
+A finding is suppressed by a trailing comment on the *flagged line*::
+
+    t = time.time()  # reprolint: disable=RL001 - reason why this is fine
+
+``disable=RL001,RL004`` suppresses several codes at once and a bare
+``# reprolint: disable`` (no codes) suppresses every rule on that line.
+Suppressions are expected to carry a reason after the code list; the
+linter does not enforce the reason, reviewers do.
+
+Paths
+-----
+Rules that only apply to parts of the tree (e.g. RL006's unit-suffix
+discipline in ``cpu/``, ``sim/``, ``core/``) scope themselves on the
+file's path *relative to the* ``repro`` *package* (``sim/engine.py``).
+Files outside a ``repro`` directory only see the unscoped rules, so the
+linter stays usable on scratch files and test fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type,
+)
+
+#: ``# reprolint: disable`` / ``# reprolint: disable=RL001,RL002 - reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]*?))?"
+    r"(?:\s*-.*)?$")
+
+#: Finding code used when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pinned to a source location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code, "rule": self.rule, "path": self.path,
+            "line": self.line, "col": self.col, "message": self.message,
+        }
+
+
+def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None or not codes.strip():
+            suppressions[lineno] = None  # blanket suppression
+        else:
+            suppressions[lineno] = {
+                c.strip().upper() for c in codes.split(",") if c.strip()}
+    return suppressions
+
+
+class FileContext:
+    """Everything a rule needs about one source file.
+
+    Attributes
+    ----------
+    path / rel:
+        The path as given, and the path relative to the innermost
+        ``repro`` package directory (``sim/engine.py``); ``rel`` falls
+        back to the bare filename when the path has no ``repro`` part.
+    tree:
+        The parsed :mod:`ast` module.
+    module_aliases:
+        Local name -> imported module (``import random as rnd`` binds
+        ``rnd -> random``).
+    imported_names:
+        Local name -> dotted origin for ``from``-imports
+        (``from time import perf_counter`` binds
+        ``perf_counter -> time.perf_counter``).
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = str(path)
+        self.source = source
+        self.tree = ast.parse(source)
+        parts = Path(self.path).parts
+        if "repro" in parts:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+            self.rel = "/".join(parts[anchor + 1:])
+        else:
+            self.rel = Path(self.path).name
+        self.suppressions = _parse_suppressions(source)
+        self.module_aliases: Dict[str, str] = {}
+        self.imported_names: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    self.imported_names[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    # ------------------------------------------------------------------
+    def in_dirs(self, dirs: Iterable[str]) -> bool:
+        """Whether this file sits under one of the package directories."""
+        head = self.rel.split("/", 1)[0]
+        return head in set(dirs)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if line not in self.suppressions:
+            return False
+        codes = self.suppressions[line]
+        return codes is None or code in codes
+
+    def resolve_dotted(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualify a ``Name``/``Attribute`` chain through imports.
+
+        ``time.perf_counter`` -> ``"time.perf_counter"``;
+        with ``from datetime import datetime``, ``datetime.now`` ->
+        ``"datetime.datetime.now"``.  Returns ``None`` for anything that
+        is not a plain dotted chain rooted at an imported name.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.module_aliases:
+            base = self.module_aliases[root]
+        elif root in self.imported_names:
+            base = self.imported_names[root]
+        else:
+            return None
+        return ".".join([base] + chain[::-1])
+
+
+class LintRule:
+    """Base class: subclass, set ``code``/``name``/``description``,
+    implement :meth:`check` as a generator of findings."""
+
+    code = "RL000"
+    name = "base"
+    description = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(self.code, self.name, ctx.path,
+                       getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), message)
+
+
+#: code -> rule class; populated by the :func:`register` decorator.
+RULE_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the registry (unique codes)."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[LintRule]:
+    wanted = None if select is None else {c.upper() for c in select}
+    rules = []
+    for code in sorted(RULE_REGISTRY):
+        if wanted is None or code in wanted:
+            rules.append(RULE_REGISTRY[code]())
+    return rules
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None,
+                include_suppressed: bool = False) -> List[Finding]:
+    """Run the registered rules over one source string.
+
+    Returns findings ordered by (line, col, code); suppressed findings
+    are dropped unless ``include_suppressed`` asks for them (used by the
+    self-tests and ``--show-suppressed``).
+    """
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [Finding(PARSE_ERROR_CODE, "parse-error", str(path),
+                        exc.lineno or 0, exc.offset or 0,
+                        f"cannot parse file: {exc.msg}")]
+    findings: List[Finding] = []
+    for rule in _select_rules(select):
+        for finding in rule.check(ctx):
+            if include_suppressed or \
+                    not ctx.is_suppressed(finding.code, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path, select: Optional[Iterable[str]] = None,
+              include_suppressed: bool = False) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select,
+                       include_suppressed=include_suppressed)
+
+
+def iter_python_files(paths: Sequence) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, sorted, skipping
+    hidden directories, caches, and egg-info."""
+    skip_parts = {"__pycache__"}
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for path in sorted(entry.rglob("*.py")):
+                parts = path.parts
+                if any(p in skip_parts or p.startswith(".")
+                       or p.endswith(".egg-info") for p in parts):
+                    continue
+                yield path
+        elif entry.suffix == ".py":
+            yield entry
+
+
+def lint_paths(paths: Sequence, select: Optional[Iterable[str]] = None,
+               include_suppressed: bool = False) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select,
+                                  include_suppressed=include_suppressed))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Output
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    lines = [f.format() for f in findings]
+    per_code: Dict[str, int] = {}
+    for f in findings:
+        per_code[f.code] = per_code.get(f.code, 0) + 1
+    summary = ", ".join(f"{code}: {count}"
+                        for code, count in sorted(per_code.items()))
+    lines.append(
+        f"reprolint: {len(findings)} finding(s) in {files_checked} file(s)"
+        + (f" [{summary}]" if summary else ""))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    return json.dumps({
+        "findings": [f.to_dict() for f in findings],
+        "files_checked": files_checked,
+        "counts": _count_by_code(findings),
+    }, indent=2, sort_keys=True)
+
+
+def _count_by_code(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.code] = counts.get(f.code, 0) + 1
+    return counts
+
+
+__all__ = [
+    "FileContext", "Finding", "LintRule", "PARSE_ERROR_CODE",
+    "RULE_REGISTRY", "iter_python_files", "lint_file", "lint_paths",
+    "lint_source", "register", "render_json", "render_text",
+]

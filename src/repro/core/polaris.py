@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.analysis.sanitizer import invariant, simsan_enabled
 from repro.core.estimator import ExecutionTimeEstimator
 from repro.core.request import Request
 from repro.db.queues import EdfQueue, RequestQueue
@@ -53,10 +54,15 @@ class PolarisScheduler:
     #: not --- Section 6.6).
     adjusts_on_arrival = True
 
+    #: Whether this scheduler's queue pops in EDF order (simsan checks
+    #: the pop order only when it does; the FIFO variants do not).
+    edf_pop_order = True
+
     name = "polaris"
 
     def __init__(self, frequencies: Sequence[float],
-                 estimator: ExecutionTimeEstimator):
+                 estimator: ExecutionTimeEstimator,
+                 sanitize: Optional[bool] = None):
         freqs = tuple(frequencies)
         if not freqs or list(freqs) != sorted(freqs):
             raise ValueError("frequencies must be non-empty and ascending")
@@ -66,6 +72,10 @@ class PolarisScheduler:
         # Overhead accounting for the Section 5 measurement.
         self.invocations = 0
         self.queue_items_scanned = 0
+        #: simsan: resolved once (arg > REPRO_SIMSAN env); checked per
+        #: pop/selection, so the disabled cost is one boolean test.
+        self.sanitize = simsan_enabled(sanitize)
+        self._freq_set = frozenset(freqs)
 
     def _make_queue(self) -> RequestQueue:
         return EdfQueue()
@@ -79,7 +89,21 @@ class PolarisScheduler:
 
     def next_request(self) -> Optional[Request]:
         """Dequeue the next request to execute (earliest deadline)."""
-        return self.queue.pop()
+        request = self.queue.pop()
+        if self.sanitize and request is not None and self.edf_pop_order:
+            # EDF pop order: nothing still queued may have an earlier
+            # deadline than what we just popped.  (Pop times are NOT
+            # globally monotone --- later arrivals can carry earlier
+            # deadlines --- so the check is against the queue head.)
+            head = self.queue.peek()
+            if head is not None:
+                invariant(request.deadline <= head.deadline, "edf-order",
+                          "queue popped a request with a later deadline "
+                          "than one still queued",
+                          popped_deadline=request.deadline,
+                          queued_deadline=head.deadline,
+                          popped_arrival=request.arrival_time)
+        return request
 
     def __len__(self) -> int:
         return len(self.queue)
@@ -114,6 +138,7 @@ class PolarisScheduler:
         else:
             remaining = [0.0] * nf
             chosen = 0
+        floor_index = chosen  # the running transaction's frequency floor
 
         # Lines 5-16: ensure all queued transactions finish in time.
         cumulative = list(remaining)  # q-hat(t, f) accumulators
@@ -133,10 +158,33 @@ class PolarisScheduler:
                 if chosen == nf - 1:
                     # Line 14: no further checking once we need the
                     # highest frequency.
+                    if self.sanitize:
+                        self._sanitize_selected(freqs[-1], floor_index, now)
                     return freqs[-1]
             for j in range(nf):
                 cumulative[j] += estimate(c, freqs[j])
+        if self.sanitize:
+            self._sanitize_selected(freqs[chosen], floor_index, now)
         return freqs[chosen]
+
+    def _sanitize_selected(self, selected: float, floor_index: int,
+                           now: float) -> None:
+        """simsan: SetProcessorFreq postconditions (Figure 2).
+
+        The selection must (a) come from the configured P-state set ---
+        never an interpolated or stale value --- and (b) respect the
+        monotone walk: the queue scan only ever *raises* the frequency
+        above the running transaction's floor (lines 5-16 contain no
+        downward step).
+        """
+        invariant(selected in self._freq_set, "pstate-membership",
+                  "selected frequency is not in the P-state table",
+                  selected=selected, table=self.frequencies, now=now)
+        invariant(self.frequencies.index(selected) >= floor_index,
+                  "freq-monotone",
+                  "queue walk lowered the frequency below the running "
+                  "transaction's floor",
+                  selected=selected, floor_index=floor_index, now=now)
 
     # ------------------------------------------------------------------
     # Admission control (Section 1: the DBMS "can reorder requests, or

@@ -32,6 +32,8 @@ class PolarisFifoScheduler(PolarisScheduler):
     """
 
     name = "polaris-fifo"
+    #: FIFO pops in arrival order; simsan must not apply the EDF check.
+    edf_pop_order = False
 
     def _make_queue(self) -> RequestQueue:
         return FifoQueue()

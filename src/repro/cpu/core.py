@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.analysis.sanitizer import invariant
 from repro.cpu.cstates import CStateModel
 from repro.cpu.power import CorePowerModel
 from repro.cpu.pstates import PStateTable
@@ -93,6 +94,9 @@ class Core:
             else pstates.max_freq
         if self.freq not in pstates:
             raise ValueError(f"initial frequency {self.freq} not in table")
+        #: simsan: inherited from the simulator so one flag governs the
+        #: whole simulated machine.
+        self.sanitize: bool = sim.sanitize
 
         # --- execution state ------------------------------------------
         self._job: Optional[Job] = None
@@ -153,6 +157,8 @@ class Core:
         job.dispatch_freq = self.freq
         duration = wake + job.work / self.freq
         self._completion = self.sim.schedule(duration, self._complete)
+        if self.sanitize:
+            self.sanitize_check()
 
     def _complete(self) -> None:
         job = self._job
@@ -197,6 +203,8 @@ class Core:
                 self.transition_latency + remaining / freq_ghz, self._complete)
         self.freq = freq_ghz
         self.freq_transitions += 1
+        if self.sanitize:
+            self.sanitize_check()
 
     # ------------------------------------------------------------------
     # Accounting
@@ -204,6 +212,11 @@ class Core:
     def _close_segment(self) -> None:
         """Integrate energy/busy time since the last state change."""
         duration = self.sim.now - self._segment_start
+        if self.sanitize:
+            invariant(duration >= 0, "clock-monotonic",
+                      "accounting segment runs backwards in time",
+                      core_id=self.core_id, now=self.sim.now,
+                      segment_start=self._segment_start)
         if duration > 0:
             if self._segment_busy:
                 self.energy_joules += \
@@ -243,6 +256,46 @@ class Core:
         if self._segment_busy:
             extra = max(0.0, now - self._segment_start)
         return self.busy_seconds + extra
+
+    # ------------------------------------------------------------------
+    # simsan
+    # ------------------------------------------------------------------
+    def sanitize_check(self) -> None:
+        """Verify the core's physical invariants.
+
+        Run after every job dispatch and frequency change when the
+        sanitizer is enabled; callable directly from tests.  Checks:
+
+        * **freq-bounds** --- the operating frequency lies inside the
+          P-state table's [min, max] range;
+        * **work-cycles** --- banked progress on the running job stays
+          within ``[0, job.work]`` giga-cycles (a mis-banked frequency
+          change would silently stretch or truncate the transaction);
+        * **power-consistency** --- the power model agrees with the
+          P-state physics at the current operating point: nonnegative
+          draw, and active power at least the idle floor.
+        """
+        invariant(self.pstates.in_bounds(self.freq), "freq-bounds",
+                  "core frequency is outside the P-state table bounds",
+                  core_id=self.core_id, freq=self.freq,
+                  min_freq=self.pstates.min_freq,
+                  max_freq=self.pstates.max_freq, now=self.sim.now)
+        if self._job is not None:
+            invariant(0.0 <= self._executed <= self._job.work + 1e-9,
+                      "work-cycles",
+                      "banked work is negative or exceeds the job size",
+                      core_id=self.core_id, executed=self._executed,
+                      work=self._job.work, now=self.sim.now)
+            invariant(self._completion is not None
+                      and not self._completion.cancelled, "work-cycles",
+                      "running job has no pending completion event",
+                      core_id=self.core_id, now=self.sim.now)
+        active = self.power_model.active_power(self.freq)
+        idle = self.power_model.idle_power(self.freq)
+        invariant(0.0 <= idle <= active, "power-consistency",
+                  "power model draw is negative or idle exceeds active",
+                  core_id=self.core_id, freq=self.freq,
+                  active_watts=active, idle_watts=idle, now=self.sim.now)
 
     def current_power(self) -> float:
         """Instantaneous draw right now (W), respecting the C-state ladder."""

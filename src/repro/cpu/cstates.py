@@ -10,7 +10,7 @@ explored with the ablation benches.
 
 Model: an idle interval of length ``d`` is split across the ladder ---
 the core spends ``threshold_i`` seconds in each state before demoting to
-the next deeper one, and pays ``wake_latency`` of the deepest state
+the next deeper one, and pays the ``wake_latency_s`` of the deepest state
 reached before it can execute again.
 """
 
@@ -28,13 +28,13 @@ class CState:
     1.0 by definition; deeper states shed progressively more.
     ``demotion_after`` is how long the core lingers here before moving
     one state deeper (``None`` for the terminal state), and
-    ``wake_latency`` is the time to return to C0 from this state.
+    ``wake_latency_s`` is the time to return to C0 from this state.
     """
 
     name: str
     power_fraction: float
     demotion_after: float  # seconds; use math.inf for the terminal state
-    wake_latency: float    # seconds
+    wake_latency_s: float  # seconds
 
 
 #: Shallow default: the core clock-gates in C1 and stays there.  Wake
@@ -62,12 +62,12 @@ class CStateModel:
             raise ValueError("non-terminal demotion thresholds must be positive")
         self.ladder: Tuple[CState, ...] = tuple(ladder)
 
-    def segments(self, duration: float) -> List[Tuple[CState, float]]:
+    def segments(self, duration_s: float) -> List[Tuple[CState, float]]:
         """Split an idle interval into (state, residency) segments."""
-        if duration < 0:
+        if duration_s < 0:
             raise ValueError("idle duration cannot be negative")
         segments: List[Tuple[CState, float]] = []
-        remaining = duration
+        remaining = duration_s
         for state in self.ladder:
             residency = min(remaining, state.demotion_after)
             if residency > 0:
@@ -77,26 +77,26 @@ class CStateModel:
                 break
         return segments
 
-    def idle_energy(self, c1_idle_watts: float, duration: float) -> float:
-        """Energy consumed over an idle interval of ``duration`` seconds.
+    def idle_energy(self, c1_idle_watts: float, duration_s: float) -> float:
+        """Energy consumed over an idle interval of ``duration_s``.
 
         ``c1_idle_watts`` is the operating point's C1 idle power from the
         :class:`~repro.cpu.power.CorePowerModel`.
         """
         return sum(c1_idle_watts * state.power_fraction * residency
-                   for state, residency in self.segments(duration))
+                   for state, residency in self.segments(duration_s))
 
-    def wake_latency(self, duration: float) -> float:
-        """Wake latency paid after idling for ``duration`` seconds."""
-        segments = self.segments(duration)
+    def wake_latency(self, duration_s: float) -> float:
+        """Wake latency paid after idling for ``duration_s`` seconds."""
+        segments = self.segments(duration_s)
         if not segments:
             return 0.0
         deepest = segments[-1][0]
-        return deepest.wake_latency
+        return deepest.wake_latency_s
 
     def average_idle_power(self, c1_idle_watts: float,
-                           duration: float) -> float:
-        """Mean power over the idle interval (W); C1 power if duration=0."""
-        if duration <= 0:
+                           duration_s: float) -> float:
+        """Mean power over the idle interval (W); C1 power if duration_s=0."""
+        if duration_s <= 0:
             return c1_idle_watts * self.ladder[0].power_fraction
-        return self.idle_energy(c1_idle_watts, duration) / duration
+        return self.idle_energy(c1_idle_watts, duration_s) / duration_s

@@ -52,7 +52,7 @@ class PStateTable:
         freqs = [s.freq_ghz for s in self._states]
         if len(set(freqs)) != len(freqs):
             raise ValueError(f"duplicate frequencies in P-state table: {freqs}")
-        self._by_freq = {s.freq_ghz: s for s in self._states}
+        self._by_freq_ghz = {s.freq_ghz: s for s in self._states}
 
     # -- construction helpers -----------------------------------------
     @classmethod
@@ -62,10 +62,10 @@ class PStateTable:
 
     def subset(self, freqs_ghz: Sequence[float]) -> "PStateTable":
         """Restrict to the given frequencies (must all exist in this table)."""
-        missing = [f for f in freqs_ghz if f not in self._by_freq]
+        missing = [f for f in freqs_ghz if f not in self._by_freq_ghz]
         if missing:
             raise ValueError(f"frequencies not in table: {missing}")
-        return PStateTable(self._by_freq[f] for f in freqs_ghz)
+        return PStateTable(self._by_freq_ghz[f] for f in freqs_ghz)
 
     # -- queries -------------------------------------------------------
     @property
@@ -83,10 +83,20 @@ class PStateTable:
 
     def state_for(self, freq_ghz: float) -> PState:
         """The P-state at exactly ``freq_ghz`` (raises ``KeyError`` if absent)."""
-        return self._by_freq[freq_ghz]
+        return self._by_freq_ghz[freq_ghz]
 
     def __contains__(self, freq_ghz: float) -> bool:
-        return freq_ghz in self._by_freq
+        return freq_ghz in self._by_freq_ghz
+
+    def in_bounds(self, freq_ghz: float) -> bool:
+        """Whether ``freq_ghz`` lies within the table's [min, max] range.
+
+        Weaker than membership (``in``): used by the simsan frequency
+        check, where a tolerance keeps float round-trips from
+        false-alarming at the exact endpoints.
+        """
+        return (self.min_freq - 1e-12 <= freq_ghz
+                <= self.max_freq + 1e-12)
 
     def __len__(self) -> int:
         return len(self._states)

@@ -12,7 +12,7 @@ POLARIS against (Section 6.1):
   or down when utilization crosses its thresholds.
 
 All dynamic governors are *deadline-blind*: they see only per-core busy
-time, sampled every ``sampling_period`` --- exactly the information
+time, sampled every ``sampling_period_s`` --- exactly the information
 asymmetry versus POLARIS that the paper is about.
 """
 

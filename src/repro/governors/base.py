@@ -2,7 +2,7 @@
 
 Mirrors the structure of the Linux ``cpufreq`` core: a governor is
 attached to one core ("policy"), static governors act once, dynamic
-governors re-evaluate every ``sampling_period`` based on the busy
+governors re-evaluate every ``sampling_period_s`` based on the busy
 fraction of the elapsed window.
 """
 
@@ -55,21 +55,21 @@ class DynamicGovernor(Governor):
     frequency on the core's grid.
     """
 
-    def __init__(self, sampling_period: float = DEFAULT_SAMPLING_PERIOD):
+    def __init__(self, sampling_period_s: float = DEFAULT_SAMPLING_PERIOD):
         super().__init__()
-        if sampling_period <= 0:
+        if sampling_period_s <= 0:
             raise ValueError("sampling period must be positive")
-        self.sampling_period = sampling_period
+        self.sampling_period_s = sampling_period_s
         self._timer: Optional[Event] = None
-        self._last_sample_time = 0.0
+        self._last_sample_time_s = 0.0
         self._last_busy = 0.0
         self.samples_taken = 0
 
     def on_attach(self) -> None:
         assert self.sim is not None and self.core is not None
-        self._last_sample_time = self.sim.now
+        self._last_sample_time_s = self.sim.now
         self._last_busy = self.core.busy_seconds_at(self.sim.now)
-        self._timer = self.sim.schedule(self.sampling_period, self._sample)
+        self._timer = self.sim.schedule(self.sampling_period_s, self._sample)
 
     def on_detach(self) -> None:
         if self._timer is not None:
@@ -80,18 +80,18 @@ class DynamicGovernor(Governor):
         assert self.sim is not None and self.core is not None
         now = self.sim.now
         busy = self.core.busy_seconds_at(now)
-        window = now - self._last_sample_time
+        window = now - self._last_sample_time_s
         utilization = 0.0
         if window > 0:
             utilization = min(1.0, (busy - self._last_busy) / window)
-        self._last_sample_time = now
+        self._last_sample_time_s = now
         self._last_busy = busy
         self.samples_taken += 1
 
         target = self.target_frequency(utilization)
         if target is not None and abs(target - self.core.freq) > 1e-12:
             self.core.set_frequency(target)
-        self._timer = self.sim.schedule(self.sampling_period, self._sample)
+        self._timer = self.sim.schedule(self.sampling_period_s, self._sample)
 
     def target_frequency(self, utilization: float) -> Optional[float]:
         """Map the last window's utilization to a grid frequency.

@@ -34,11 +34,11 @@ class ConservativeGovernor(DynamicGovernor):
 
     name = "conservative"
 
-    def __init__(self, sampling_period: float = DEFAULT_SAMPLING_PERIOD,
+    def __init__(self, sampling_period_s: float = DEFAULT_SAMPLING_PERIOD,
                  up_threshold: float = DEFAULT_UP_THRESHOLD,
                  down_threshold: float = DEFAULT_DOWN_THRESHOLD,
                  freq_step_percent: float = DEFAULT_FREQ_STEP_PERCENT):
-        super().__init__(sampling_period)
+        super().__init__(sampling_period_s)
         if not 0 <= down_threshold < up_threshold <= 100:
             raise ValueError(
                 "need 0 <= down_threshold < up_threshold <= 100")

@@ -29,9 +29,9 @@ class OnDemandGovernor(DynamicGovernor):
 
     name = "ondemand"
 
-    def __init__(self, sampling_period: float = DEFAULT_SAMPLING_PERIOD,
+    def __init__(self, sampling_period_s: float = DEFAULT_SAMPLING_PERIOD,
                  up_threshold: float = DEFAULT_UP_THRESHOLD):
-        super().__init__(sampling_period)
+        super().__init__(sampling_period_s)
         if not 0 < up_threshold <= 100:
             raise ValueError("up_threshold must be in (0, 100]")
         self.up_threshold = up_threshold

@@ -24,7 +24,6 @@ derived from the service-time model exactly as the paper derives its
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -33,6 +32,7 @@ from repro.core.request import Request
 from repro.core.workload import Workload, WorkloadManager
 from repro.db.server import DatabaseServer, ServerConfig
 from repro.governors.base import GovernorSet
+from repro.harness.profiling import perf_clock
 from repro.harness.schemes import scheme_named
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.power import PowerMeter
@@ -211,7 +211,7 @@ def _train_estimator(estimator: ExecutionTimeEstimator,
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute one cell and return the paper's metrics for it."""
-    wall_start = time.perf_counter()
+    wall_start = perf_clock()
     scheme = scheme_named(config.scheme)
     spec = BENCHMARKS[config.benchmark]()
     streams = RandomStreams(config.seed)
@@ -369,5 +369,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         load_timeline=list(config.load_trace or []),
         mean_latency_by_workload=mean_latency,
         sim_events=sim.events_processed,
-        wall_seconds=time.perf_counter() - wall_start,
+        wall_seconds=perf_clock() - wall_start,
     )

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import os
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +22,7 @@ from repro.core.request import Request
 from repro.core.workload import Workload
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.parallel import SweepRunner
+from repro.harness.profiling import perf_clock
 from repro.harness.profiling import TimingReport
 from repro.harness.schemes import FIGURE_BASELINE_SCHEMES, VARIANT_SCHEMES
 from repro.metrics.report import format_series, format_table, sparkline
@@ -585,9 +585,9 @@ def polaris_overhead(queue_lengths: Sequence[int] = (0, 1, 4, 16, 64, 256),
         for _ in range(length):
             scheduler.enqueue(Request(workload, "t", rng.random(), 0.001))
         running = Request(workload, "t", 0.0, 0.001)
-        start = time.perf_counter()
+        start = perf_clock()
         for _ in range(repeats):
             scheduler.select_frequency(0.5, running, 0.0001)
-        elapsed = time.perf_counter() - start
+        elapsed = perf_clock() - start
         micros[length] = elapsed / repeats * 1e6
     return OverheadResult(micros)

@@ -37,17 +37,17 @@ import hashlib
 import json
 import os
 import pickle
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence
 
 import repro
+from repro.analysis.sanitizer import simsan_enabled
 from repro.harness.experiment import (
     ExperimentConfig, ExperimentResult, run_experiment,
 )
-from repro.harness.profiling import TimingReport
+from repro.harness.profiling import TimingReport, perf_clock
 
 JOBS_ENV = "REPRO_JOBS"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -103,6 +103,10 @@ def config_key(config: ExperimentConfig, salt: Optional[str] = None) -> str:
         "config": asdict(config),
         "salt": salt if salt is not None else code_version_salt(),
         "schema": CACHE_SCHEMA_VERSION,
+        # Sanitized runs are byte-identical by contract, but contracts
+        # are what simsan exists to doubt: keep their cache entries
+        # disjoint so a sanitizer experiment can never feed a figure.
+        "simsan": simsan_enabled(),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -206,7 +210,7 @@ class SweepRunner:
     def run(self, configs: Sequence[ExperimentConfig]
             ) -> List[ExperimentResult]:
         """Execute (or recall) every cell; deterministic output order."""
-        start = time.perf_counter()
+        start = perf_clock()
         configs = list(configs)
         results: List[Optional[ExperimentResult]] = [None] * len(configs)
         cell_seconds = [0.0] * len(configs)
@@ -252,7 +256,7 @@ class SweepRunner:
 
         self.stats = SweepStats(
             cells=len(configs), cache_hits=hits, executed=len(misses),
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=perf_clock() - start,
             cell_seconds=cell_seconds)
         return [r for r in results if r is not None]
 

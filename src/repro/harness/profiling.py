@@ -28,6 +28,27 @@ BENCH_FILE_ENV = "REPRO_BENCH_FILE"
 DEFAULT_BENCH_FILE = "BENCH_harness.json"
 
 
+def wall_clock() -> float:
+    """Unix epoch seconds --- the ONLY sanctioned wall-clock read.
+
+    Wall time may only ever label *metadata* (trajectory timestamps,
+    report headers); it must never feed simulation state.  reprolint
+    RL001 enforces this: every other ``time.time()``/``datetime.now()``
+    in the tree is a lint error, so "what can observe the host clock"
+    stays exactly two grep-sized functions.
+    """
+    return time.time()
+
+
+def perf_clock() -> float:
+    """Monotonic high-resolution seconds for measuring *harness* speed.
+
+    Same contract as :func:`wall_clock`: results may be recorded
+    (phase timings, cells/sec) but never influence simulated behaviour.
+    """
+    return time.perf_counter()
+
+
 @dataclass
 class CellTiming:
     """One sweep cell's execution record."""
@@ -52,16 +73,16 @@ class TimingReport:
     jobs: int = 1
     phases: Dict[str, float] = field(default_factory=dict)
     cells: List[CellTiming] = field(default_factory=list)
-    started_at: float = field(default_factory=time.time)
+    started_at: float = field(default_factory=wall_clock)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a named phase; re-entering a name accumulates."""
-        start = time.perf_counter()
+        start = perf_clock()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = perf_clock() - start
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
 
     def record_cell(self, label: str, cached: bool, wall_seconds: float,
@@ -166,5 +187,5 @@ def load_trajectory(path: Optional[str] = None) -> List[Dict[str, object]]:
 
 __all__ = [
     "CellTiming", "TimingReport", "append_trajectory", "bench_file_path",
-    "load_trajectory",
+    "load_trajectory", "perf_clock", "wall_clock",
 ]

@@ -25,16 +25,21 @@ class PowerMeter:
     """
 
     def __init__(self, sim: Simulator, energy_fn: Callable[[], float],
-                 rng: Optional[random.Random] = None,
-                 interval: float = 1.0,
+                 rng: random.Random, interval: float = 1.0,
                  noise_fraction: float = METER_NOISE_FRACTION):
         if interval <= 0:
             raise ValueError("sampling interval must be positive")
         if noise_fraction < 0:
             raise ValueError("noise fraction cannot be negative")
+        if rng is None:
+            # An implicit Random(0) here once hid which seed a figure's
+            # meter noise came from; the stream is now the caller's
+            # explicit choice (usually streams.get("meter-noise")).
+            raise TypeError("PowerMeter requires an explicit rng; pass "
+                            "a seeded random.Random or an RNG stream")
         self.sim = sim
         self.energy_fn = energy_fn
-        self.rng = rng or random.Random(0)
+        self.rng = rng
         self.interval = interval
         self.noise_fraction = noise_fraction
         #: (sample_end_time, watts) readings.

@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro.analysis.sanitizer import invariant, simsan_enabled
+
 #: Compaction triggers when the heap holds more than this many cancelled
 #: events *and* they outnumber the live ones.  Small enough to bound
 #: memory on reschedule-heavy runs, large enough that compaction cost is
@@ -110,8 +112,13 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 sanitize: Optional[bool] = None):
         self.now: float = start_time
+        #: simsan: resolved once at construction (arg > REPRO_SIMSAN env)
+        #: and hoisted into a local before hot loops, so a disabled
+        #: sanitizer costs one boolean test per event.
+        self.sanitize: bool = simsan_enabled(sanitize)
         self._heap: List[Event] = []
         self._seq: int = 0
         self._running: bool = False
@@ -169,6 +176,7 @@ class Simulator:
         # _compact), so the local reference stays valid.
         heap = self._heap
         heappop = heapq.heappop
+        sanitize = self.sanitize
         processed = 0
         try:
             while heap and not self._stopped:
@@ -180,6 +188,11 @@ class Simulator:
                 if event.cancelled or callback is None:
                     self._stale -= 1
                     continue
+                if sanitize and event.time < self.now:
+                    invariant(False, "clock-monotonic",
+                              "event fires before the current clock",
+                              event_time=event.time, now=self.now,
+                              seq=event.seq, priority=event.priority)
                 event.callback = None  # marks it fired; frees the closure
                 self._live -= 1
                 self.now = event.time
@@ -187,6 +200,8 @@ class Simulator:
                 callback()
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
+            if sanitize:
+                self.sanitize_check()
         finally:
             self.events_processed += processed
             self._running = False
@@ -204,6 +219,11 @@ class Simulator:
             if event.cancelled or callback is None:
                 self._stale -= 1
                 continue
+            if self.sanitize and event.time < self.now:
+                invariant(False, "clock-monotonic",
+                          "event fires before the current clock",
+                          event_time=event.time, now=self.now,
+                          seq=event.seq, priority=event.priority)
             event.callback = None
             self._live -= 1
             self.now = event.time
@@ -244,7 +264,57 @@ class Simulator:
         self._heap[:] = live
         heapq.heapify(self._heap)
         self._stale = 0
+        if self.sanitize:
+            self.sanitize_check()
 
     def heap_size(self) -> int:
         """Heap slots in use, including cancelled garbage (diagnostics)."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # simsan
+    # ------------------------------------------------------------------
+    def sanitize_check(self) -> None:
+        """Verify the engine's structural invariants (O(heap size)).
+
+        Run automatically after :meth:`run` and after every compaction
+        when the sanitizer is enabled; callable directly from tests.
+        Checks, in order:
+
+        * **heap-integrity** --- the binary-heap ordering property holds
+          for every parent/child pair (compaction or external mutation
+          cannot have broken ``heapq``'s contract);
+        * **clock-monotonic** --- no pending event is scheduled in the
+          past;
+        * **event-accounting** --- ``_live``/``_stale`` counters match a
+          direct census of the heap, so :meth:`pending_count` is exact
+          and compaction triggers when it should.
+        """
+        heap = self._heap
+        for index in range(1, len(heap)):
+            parent = (index - 1) >> 1
+            invariant(not (heap[index] < heap[parent]), "heap-integrity",
+                      "heap ordering property violated",
+                      index=index, parent=parent,
+                      child_time=heap[index].time,
+                      parent_time=heap[parent].time)
+        pending = 0
+        cancelled = 0
+        for event in heap:
+            if event.cancelled:
+                cancelled += 1
+                continue
+            if event.callback is None:
+                continue  # fired events never re-enter the heap
+            pending += 1
+            invariant(event.time >= self.now, "clock-monotonic",
+                      "pending event is scheduled in the past",
+                      event_time=event.time, now=self.now, seq=event.seq)
+        invariant(self._live == pending, "event-accounting",
+                  "live-event counter disagrees with the heap census",
+                  live_counter=self._live, pending_in_heap=pending,
+                  now=self.now)
+        invariant(self._stale == cancelled, "event-accounting",
+                  "stale-event counter disagrees with the heap census",
+                  stale_counter=self._stale, cancelled_in_heap=cancelled,
+                  now=self.now)

@@ -18,6 +18,7 @@ deadline is met; only energy differs between algorithms.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import List, Optional, Tuple
 
 from repro.theory.model import ProblemInstance, Schedule, Segment
@@ -85,7 +86,7 @@ def polaris_ideal_schedule(instance: ProblemInstance) -> Schedule:
         else:
             completion_time = float("inf")
         next_time = min(arrival_time, completion_time)
-        if next_time == float("inf"):
+        if math.isinf(next_time):
             break
         emit_progress(next_time)
         now = next_time

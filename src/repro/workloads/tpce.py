@@ -118,7 +118,9 @@ def _load_customer(db: Database, config: TpceConfig, rng: random.Random,
                                 "c_tier": rng.randint(1, 3)})
         symbols = [_symbol(rng.randint(1, config.securities))
                    for _ in range(config.watch_items_per_customer)]
-        for symb in set(symbols):
+        # sorted: set iteration order is hash-seed dependent for
+        # strings, and row insertion order feeds b-tree shape.
+        for symb in sorted(set(symbols)):
             txn.insert("watch_item", {"wi_c_id": c_id, "wi_s_symb": symb})
         for slot in range(config.accounts_per_customer):
             ca_id = (c_id - 1) * config.accounts_per_customer + slot + 1

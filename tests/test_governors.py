@@ -63,7 +63,7 @@ def test_userspace_requires_grid_frequency(sim):
 # ----------------------------------------------------------------------
 def test_ondemand_jumps_to_max_when_saturated(sim):
     core = make_core(sim, freq=1.2)
-    governor = OnDemandGovernor(sampling_period=0.01)
+    governor = OnDemandGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     core.start_job(Job(1000.0))  # saturate indefinitely
     sim.run(until=0.05)
@@ -72,7 +72,7 @@ def test_ondemand_jumps_to_max_when_saturated(sim):
 
 def test_ondemand_scales_proportionally_at_partial_load(sim):
     core = make_core(sim, freq=2.8)
-    governor = OnDemandGovernor(sampling_period=0.01)
+    governor = OnDemandGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     keep_busy(sim, core, fraction=0.5, until=0.5)
     sim.run(until=0.5)
@@ -83,7 +83,7 @@ def test_ondemand_scales_proportionally_at_partial_load(sim):
 
 def test_ondemand_idle_core_drops_to_min(sim):
     core = make_core(sim, freq=2.8)
-    OnDemandGovernor(sampling_period=0.01).attach(core, sim)
+    OnDemandGovernor(sampling_period_s=0.01).attach(core, sim)
     sim.run(until=0.1)
     assert core.freq == 1.2
 
@@ -100,7 +100,7 @@ def test_ondemand_threshold_validation():
 # ----------------------------------------------------------------------
 def test_conservative_steps_up_gradually_under_load(sim):
     core = make_core(sim, freq=1.2)
-    governor = ConservativeGovernor(sampling_period=0.01)
+    governor = ConservativeGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     core.start_job(Job(1000.0))
     sim.run(until=0.035)  # three samples: 3 steps of 0.14 GHz
@@ -113,7 +113,7 @@ def test_conservative_steps_up_gradually_under_load(sim):
 
 def test_conservative_steps_down_when_idle(sim):
     core = make_core(sim, freq=2.8)
-    ConservativeGovernor(sampling_period=0.01).attach(core, sim)
+    ConservativeGovernor(sampling_period_s=0.01).attach(core, sim)
     sim.run(until=0.05)
     assert core.freq < 2.8  # stepped, not jumped
     freq_after_short_idle = core.freq
@@ -124,7 +124,7 @@ def test_conservative_steps_down_when_idle(sim):
 
 def test_conservative_dead_zone_holds_frequency(sim):
     core = make_core(sim, freq=2.8)
-    governor = ConservativeGovernor(sampling_period=0.01)
+    governor = ConservativeGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     keep_busy(sim, core, fraction=0.5, until=0.5)  # between 20% and 80%
     sim.run(until=0.5)
@@ -143,7 +143,7 @@ def test_conservative_threshold_validation():
 # ----------------------------------------------------------------------
 def test_dynamic_governor_detach_stops_sampling(sim):
     core = make_core(sim, freq=2.8)
-    governor = OnDemandGovernor(sampling_period=0.01)
+    governor = OnDemandGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     sim.run(until=0.03)
     samples = governor.samples_taken
@@ -155,7 +155,7 @@ def test_dynamic_governor_detach_stops_sampling(sim):
 
 def test_sampling_period_validation():
     with pytest.raises(ValueError):
-        OnDemandGovernor(sampling_period=0.0)
+        OnDemandGovernor(sampling_period_s=0.0)
 
 
 def test_governor_set_attaches_one_per_core(sim):
@@ -172,7 +172,7 @@ def test_governor_set_attaches_one_per_core(sim):
 
 def test_dynamic_base_requires_target_implementation(sim):
     core = make_core(sim)
-    governor = DynamicGovernor(sampling_period=0.01)
+    governor = DynamicGovernor(sampling_period_s=0.01)
     governor.attach(core, sim)
     with pytest.raises(NotImplementedError):
         sim.run(until=0.02)

@@ -16,7 +16,8 @@ from repro.sim.engine import Simulator
 # PowerMeter
 # ----------------------------------------------------------------------
 def test_meter_samples_every_second(sim):
-    meter = PowerMeter(sim, lambda: sim.now * 50.0, noise_fraction=0.0)
+    meter = PowerMeter(sim, lambda: sim.now * 50.0, random.Random(0),
+                       noise_fraction=0.0)
     meter.start()
     sim.schedule(5.5, sim.stop)
     sim.run()
@@ -41,7 +42,7 @@ def test_meter_average_over_window(sim):
     # 10 W for 2 s, then 30 W.
     meter = PowerMeter(sim, lambda: 10.0 * min(sim.now, 2.0)
                        + 30.0 * max(0.0, sim.now - 2.0),
-                       noise_fraction=0.0)
+                       random.Random(0), noise_fraction=0.0)
     meter.start()
     sim.schedule(4.5, sim.stop)
     sim.run()
@@ -51,13 +52,14 @@ def test_meter_average_over_window(sim):
 
 
 def test_meter_average_empty_window_raises(sim):
-    meter = PowerMeter(sim, lambda: 0.0)
+    meter = PowerMeter(sim, lambda: 0.0, random.Random(0))
     with pytest.raises(ValueError):
         meter.average_power()
 
 
 def test_meter_binned_average(sim):
-    meter = PowerMeter(sim, lambda: 10.0 * sim.now, noise_fraction=0.0)
+    meter = PowerMeter(sim, lambda: 10.0 * sim.now, random.Random(0),
+                       noise_fraction=0.0)
     meter.start()
     sim.schedule(10.0, sim.stop)
     sim.run()
@@ -66,8 +68,15 @@ def test_meter_binned_average(sim):
     assert bins[0][1] == pytest.approx(10.0)
 
 
+def test_meter_requires_explicit_rng(sim):
+    with pytest.raises(TypeError):
+        PowerMeter(sim, lambda: 0.0, None)
+    with pytest.raises(TypeError):
+        PowerMeter(sim, lambda: 0.0)
+
+
 def test_meter_stop_and_validation(sim):
-    meter = PowerMeter(sim, lambda: 0.0)
+    meter = PowerMeter(sim, lambda: 0.0, random.Random(0))
     meter.start()
     with pytest.raises(RuntimeError):
         meter.start()
@@ -76,9 +85,10 @@ def test_meter_stop_and_validation(sim):
     sim.run()
     assert meter.samples == []
     with pytest.raises(ValueError):
-        PowerMeter(sim, lambda: 0.0, interval=0.0)
+        PowerMeter(sim, lambda: 0.0, random.Random(0), interval=0.0)
     with pytest.raises(ValueError):
-        PowerMeter(sim, lambda: 0.0, noise_fraction=-0.1)
+        PowerMeter(sim, lambda: 0.0, random.Random(0),
+                   noise_fraction=-0.1)
 
 
 # ----------------------------------------------------------------------

@@ -110,6 +110,97 @@ def test_bench_simsan_on_overhead_recorded(benchmark):
     assert "simsan_on" in recorded[-1]["phases"]
 
 
+def _traced_event_loop_ticks(tracer, ticks=10000):
+    sim = Simulator(tracer=tracer)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < ticks:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
+def test_bench_trace_off_is_noop(benchmark, monkeypatch):
+    """Disabled tracing must cost the event loop nothing.
+
+    Like the simsan bench, the claim is proven deterministically rather
+    than by noisy timing: the engine only touches the tracer at run()
+    boundaries, never per event.  Disabled, zero Tracer.instant calls
+    fire; enabled, exactly two per run() (begin+end) regardless of tick
+    count --- so the per-event overhead is not merely under the 1%
+    budget, it is structurally zero.
+    """
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    calls = []
+    original = Tracer.instant
+
+    def counting(self, *args, **kwargs):
+        calls.append(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Tracer, "instant", counting)
+    assert _traced_event_loop_ticks(NULL_TRACER, ticks=10000) == 10000
+    assert calls == []  # no hook ever fired while disabled
+    assert len(NULL_TRACER.events) == 0  # and disabled records nothing
+
+    enabled = Tracer()
+    _traced_event_loop_ticks(enabled, ticks=100)
+    first = len(calls)
+    _traced_event_loop_ticks(enabled, ticks=10000)
+    assert first == 2  # run:begin + run:end only
+    assert len(calls) - first == 2  # constant per run(), not per event
+
+    assert benchmark(_traced_event_loop_ticks, NULL_TRACER) == 10000
+
+
+def test_bench_trace_overhead_recorded(benchmark, monkeypatch):
+    """Measure disabled-tracing overhead on the event loop and log it to
+    the bench trajectory (``BENCH_harness.json``).  The acceptance bar
+    is <=1%; the structural proof above guarantees it, the timing here
+    documents it PR-over-PR (with a noise allowance on the assert, since
+    best-of wall timings on a ~10ms loop still jitter)."""
+    from repro.harness.profiling import (
+        TimingReport, append_trajectory, load_trajectory, perf_clock,
+    )
+    from repro.obs.trace import NULL_TRACER, TRACE_ENV, Tracer
+
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+
+    def best_of(tracer, repeats=5):
+        _traced_event_loop_ticks(tracer)  # warm
+        best = float("inf")
+        for _ in range(repeats):
+            start = perf_clock()
+            _traced_event_loop_ticks(tracer)
+            best = min(best, perf_clock() - start)
+        return best
+
+    plain = best_of(None)  # resolve_tracer(None) with REPRO_TRACE unset
+    off = best_of(NULL_TRACER)
+    on = best_of(Tracer())
+    assert benchmark(_traced_event_loop_ticks, NULL_TRACER) == 10000
+    # off and plain run byte-identical code; on adds two constant-time
+    # instants per run().  Bound generously against timer jitter --- the
+    # deterministic no-op test is the real <=1% guarantee.
+    assert off < plain * 1.25, f"trace off {off:.4f}s vs plain {plain:.4f}s"
+    assert on < plain * 1.25, f"trace on {on:.4f}s vs plain {plain:.4f}s"
+
+    report = TimingReport(name="trace-overhead", jobs=1)
+    report.phases["trace_plain"] = plain
+    report.phases["trace_off"] = off
+    report.phases["trace_on"] = on
+    report.phases["overhead_ratio"] = off / plain
+    append_trajectory(report)
+    recorded = load_trajectory()
+    assert recorded[-1]["name"] == "trace-overhead"
+    assert "overhead_ratio" in recorded[-1]["phases"]
+
+
 def test_bench_percentile_tracker_observe(benchmark):
     tracker = SlidingWindowPercentile(window=1000, percentile=95)
     rng = random.Random(0)

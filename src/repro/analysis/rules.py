@@ -177,7 +177,7 @@ class UnseededRandomRule(LintRule):
 #: Directories whose code feeds simulation state (the harness/theory
 #: layers consume already-deterministic results).
 RL003_DIRS = ("sim", "core", "governors", "cpu", "db", "workloads",
-              "metrics")
+              "metrics", "obs")
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -301,12 +301,14 @@ class MutableDefaultRule(LintRule):
 # ----------------------------------------------------------------------
 # RL006 --- unit-suffix discipline
 # ----------------------------------------------------------------------
-RL006_DIRS = ("cpu", "sim", "core", "governors")
+RL006_DIRS = ("cpu", "sim", "core", "governors", "obs")
 
 #: Bare semantic time/frequency words that demand a unit suffix.
+#: ``ts``/``dur``/``timestamp`` joined the list with the repro.obs
+#: tracing subsystem, whose field vocabulary is timestamp-heavy.
 _RL006_TIME_RE = re.compile(
     r"(?:^|_)(?:time|duration|delay|interval|latency|elapsed|period"
-    r"|timeout)$")
+    r"|timeout|ts|dur|timestamp)$")
 _RL006_FREQ_RE = re.compile(r"(?:^|_)freq(?:uency)?$")
 _RL006_UNIT_SUFFIX_RE = re.compile(
     r"_(?:s|us|ms|ns|sec|secs|seconds|ghz|mhz|khz|hz)$")
@@ -336,6 +338,14 @@ RL006_AUDITED_EXEMPTIONS: Dict[str, str] = {
     "single_freq": "boolean flag (ran under one frequency), not a value",
     "transition_latency": "seconds; mirrors the ServerConfig/"
                           "ExperimentConfig field of the same name",
+    # -- trace-field convention: the Chrome trace-event format mandates
+    #    integer MICROSECONDS for `ts` and `dur`, so repro.obs converts
+    #    virtual seconds at the recording boundary and names the stored
+    #    fields with the `_us` suffix (repro.obs.trace docstring) --------
+    "ts_us": "Chrome trace-event `ts`: integer microseconds by format "
+             "mandate (repro.obs.trace.to_trace_us)",
+    "dur_us": "Chrome trace-event `dur`: integer microseconds by format "
+              "mandate (complete-event exports)",
 }
 
 
@@ -396,7 +406,7 @@ class UnitSuffixRule(LintRule):
 # ----------------------------------------------------------------------
 #: Hot-path directories where a silently swallowed exception corrupts
 #: simulation state instead of merely hiding a harness hiccup.
-RL007_SWALLOW_DIRS = ("sim", "core", "cpu", "db", "governors")
+RL007_SWALLOW_DIRS = ("sim", "core", "cpu", "db", "governors", "obs")
 
 
 def _handler_only_passes(handler: ast.ExceptHandler) -> bool:
@@ -438,7 +448,7 @@ class SwallowedExceptionRule(LintRule):
 # ----------------------------------------------------------------------
 # RL008 --- dataclass state hygiene in sim/ and cpu/
 # ----------------------------------------------------------------------
-RL008_DIRS = ("sim", "cpu")
+RL008_DIRS = ("sim", "cpu", "obs")
 
 
 def _dataclass_decorator(node: ast.ClassDef,

@@ -76,6 +76,12 @@ class PolarisScheduler:
         #: pop/selection, so the disabled cost is one boolean test.
         self.sanitize = simsan_enabled(sanitize)
         self._freq_set = frozenset(freqs)
+        #: repro.obs: the worker flips this on when tracing and reads
+        #: :attr:`last_decision` right after each ``select_frequency``
+        #: call.  The scheduler stays simulation-agnostic --- it records
+        #: *what* it decided and why (floor, slack), never emits events.
+        self.trace_decisions = False
+        self.last_decision: Optional[dict] = None
 
     def _make_queue(self) -> RequestQueue:
         return EdfQueue()
@@ -160,12 +166,43 @@ class PolarisScheduler:
                     # highest frequency.
                     if self.sanitize:
                         self._sanitize_selected(freqs[-1], floor_index, now)
+                    if self.trace_decisions:
+                        self._record_decision(now, running, remaining[-1],
+                                              freqs[-1], freqs[floor_index],
+                                              early_exit=True)
                     return freqs[-1]
             for j in range(nf):
                 cumulative[j] += estimate(c, freqs[j])
         if self.sanitize:
             self._sanitize_selected(freqs[chosen], floor_index, now)
+        if self.trace_decisions:
+            self._record_decision(now, running, remaining[chosen],
+                                  freqs[chosen], freqs[floor_index],
+                                  early_exit=False)
         return freqs[chosen]
+
+    def _record_decision(self, now_s: float, running: Optional[Request],
+                         remaining_s: float, selected_ghz: float,
+                         floor_ghz: float, early_exit: bool) -> None:
+        """Capture why SetProcessorFreq picked ``selected_ghz``.
+
+        ``remaining_s`` is the running transaction's predicted remaining
+        time at the selected frequency, so ``slack_s`` is the margin it
+        is predicted to finish with --- the quantity that drove the
+        decision (Figure 2 lines 2-4).  ``early_exit`` marks the line-14
+        shortcut (highest frequency required; queue walk abandoned).
+        """
+        slack_s = None
+        if running is not None:
+            slack_s = running.deadline - (now_s + remaining_s)
+        self.last_decision = {
+            "selected_ghz": selected_ghz,
+            "floor_ghz": floor_ghz,
+            "queue_len": len(self.queue),
+            "remaining_s": remaining_s,
+            "slack_s": slack_s,
+            "early_exit": early_exit,
+        }
 
     def _sanitize_selected(self, selected: float, floor_index: int,
                            now: float) -> None:

@@ -97,6 +97,14 @@ class Core:
         #: simsan: inherited from the simulator so one flag governs the
         #: whole simulated machine.
         self.sanitize: bool = sim.sanitize
+        #: repro.obs: inherited the same way; each core gets its own
+        #: trace track so P-state transitions and the frequency counter
+        #: render as one timeline row per core in Perfetto.
+        self.tracer = sim.tracer
+        self.trace_track = self.tracer.track("cpu", f"core-{core_id}")
+        if self.tracer.enabled:
+            self.tracer.counter(self.trace_track, f"freq_ghz.core{core_id}",
+                                sim.now, freq_ghz=self.freq)
 
         # --- execution state ------------------------------------------
         self._job: Optional[Job] = None
@@ -190,6 +198,17 @@ class Core:
                 f"{freq_ghz} GHz not in core {self.core_id}'s P-state table")
         if abs(freq_ghz - self.freq) < 1e-12:
             return
+        if self.tracer.enabled:
+            # Only *real* transitions are recorded (same-frequency
+            # requests returned above), mirroring `freq_transitions`.
+            self.tracer.instant(
+                self.trace_track, "pstate:transition", self.sim.now,
+                old_ghz=self.freq, new_ghz=freq_ghz,
+                pstate=self.pstates.state_label(freq_ghz),
+                mid_job=self._job is not None)
+            self.tracer.counter(
+                self.trace_track, f"freq_ghz.core{self.core_id}",
+                self.sim.now, freq_ghz=freq_ghz)
         self._close_segment()
         if self._job is not None:
             # Bank progress made at the old frequency.

@@ -125,6 +125,16 @@ class PStateTable:
         idx = self._index_of(freq_ghz)
         return self._states[max(idx - steps, 0)].freq_ghz
 
+    def state_label(self, freq_ghz: float) -> str:
+        """ACPI name of the state at ``freq_ghz`` (``P0`` = fastest).
+
+        The table stores states ascending by frequency while ACPI
+        numbers them descending, hence the reversal.  Used by trace
+        annotations so P-state transitions read the way the paper (and
+        ``cpufreq``) name them.
+        """
+        return f"P{len(self._states) - 1 - self._index_of(freq_ghz)}"
+
     def _index_of(self, freq_ghz: float) -> int:
         for i, state in enumerate(self._states):
             if abs(state.freq_ghz - freq_ghz) < 1e-12:

@@ -116,6 +116,27 @@ class Worker:
         self.current: Optional[Request] = None
         self.completed = 0
         self._transitions_at_dispatch = 0
+        #: repro.obs: inherited through the simulator like simsan; each
+        #: worker gets its own track for execution spans, queue-depth
+        #: counters, and SetProcessorFreq decision instants.
+        self.tracer = server.sim.tracer
+        self.trace_track = self.tracer.track("server",
+                                             f"worker-{worker_id}")
+        if self.tracer.enabled and hasattr(dispatcher, "trace_decisions"):
+            # Schedulers that can explain their choices do so only when
+            # someone is listening (see PolarisScheduler.last_decision).
+            dispatcher.trace_decisions = True
+
+    def _trace_decision(self, name: str, freq_ghz: Optional[float]) -> None:
+        """Emit a SetProcessorFreq instant with the scheduler's stated
+        reasoning (slack, floor, queue length) attached when available."""
+        decision = getattr(self.dispatcher, "last_decision", None)
+        if decision is not None:
+            self.tracer.instant(self.trace_track, name,
+                                self.server.sim.now, **decision)
+        elif freq_ghz is not None:
+            self.tracer.instant(self.trace_track, name,
+                                self.server.sim.now, selected_ghz=freq_ghz)
 
     # ------------------------------------------------------------------
     @property
@@ -146,9 +167,23 @@ class Worker:
                 self.server.sim.now, self.current,
                 self.core.running_elapsed(), request):
             request.state = RequestState.REJECTED
+            if self.tracer.enabled:
+                self.tracer.instant(self.trace_track, "txn:rejected",
+                                    self.server.sim.now,
+                                    txn_type=request.txn_type,
+                                    deadline=request.deadline)
             self.server.notify_rejection(request)
             return
         self.dispatcher.enqueue(request)
+        if self.tracer.enabled:
+            now_s = self.server.sim.now
+            self.tracer.async_begin("txn", request.request_id,
+                                    f"txn:{request.txn_type}", now_s,
+                                    worker=self.worker_id,
+                                    deadline=request.deadline)
+            self.tracer.counter(self.trace_track,
+                                f"queue_depth.w{self.worker_id}", now_s,
+                                depth=len(self.dispatcher))
         if self.idle:
             self._dispatch_next()
         elif self.dispatcher.adjusts_on_arrival:
@@ -156,6 +191,8 @@ class Worker:
             freq = self.dispatcher.select_frequency(
                 self.server.sim.now, self.current,
                 self.core.running_elapsed())
+            if self.tracer.enabled:
+                self._trace_decision("setfreq:arrival", freq)
             self._apply_frequency(freq)
 
     # ------------------------------------------------------------------
@@ -167,13 +204,21 @@ class Worker:
             # Empty queue: SetProcessorFreq with no constraints selects
             # the lowest frequency (Figure 2 with Q = {} and no t0), so
             # an idling core drops to its floor operating point.
-            self._apply_frequency(
-                self.dispatcher.select_frequency(self.server.sim.now, None))
+            freq = self.dispatcher.select_frequency(self.server.sim.now,
+                                                    None)
+            if self.tracer.enabled:
+                self._trace_decision("setfreq:idle", freq)
+            self._apply_frequency(freq)
             return
         now = self.server.sim.now
         # SetProcessorFreq before executing the dequeued request: the
         # dequeued transaction is t0 with e0 = 0 (Section 5).
         freq = self.dispatcher.select_frequency(now, request, 0.0)
+        if self.tracer.enabled:
+            self._trace_decision("setfreq:dispatch", freq)
+            self.tracer.counter(self.trace_track,
+                                f"queue_depth.w{self.worker_id}", now,
+                                depth=len(self.dispatcher))
         self._apply_frequency(freq)
         request.state = RequestState.RUNNING
         request.dispatch_time = now
@@ -181,6 +226,15 @@ class Worker:
         request.dispatch_freq = self.core.freq
         self._transitions_at_dispatch = self.core.freq_transitions
         self.current = request
+        if self.tracer.enabled:
+            self.tracer.async_instant("txn", request.request_id,
+                                      "txn:dispatch", now,
+                                      worker=self.worker_id,
+                                      freq_ghz=self.core.freq)
+            self.tracer.begin(self.trace_track,
+                              f"exec:{request.txn_type}", now,
+                              deadline=request.deadline,
+                              freq_ghz=self.core.freq)
         if self.server.functional_executor is not None:
             request.result = self.server.functional_executor(request)
         self.core.start_job(Job(request.work, payload=request),
@@ -195,6 +249,15 @@ class Worker:
             self.core.freq_transitions == self._transitions_at_dispatch
         self.current = None
         self.completed += 1
+        if self.tracer.enabled:
+            now_s = self.server.sim.now
+            met = request.met_deadline
+            self.tracer.end(self.trace_track, now_s, met_deadline=met,
+                            single_freq=request.single_freq)
+            self.tracer.async_end("txn", request.request_id,
+                                  f"txn:{request.txn_type}", now_s,
+                                  met_deadline=met,
+                                  latency_s=request.latency)
         self.dispatcher.record_completion(request)
         self.server.notify_completion(request)
         self._dispatch_next()

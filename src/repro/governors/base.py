@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from repro.cpu.core import Core
+from repro.obs.trace import NULL_TRACER, NULL_TRACK
 from repro.sim.engine import Event, Simulator
 
 #: Linux's default sampling interval on the paper's kernel era was
@@ -26,11 +27,18 @@ class Governor:
     def __init__(self):
         self.core: Optional[Core] = None
         self.sim: Optional[Simulator] = None
+        self.tracer = NULL_TRACER
+        self.trace_track = NULL_TRACK
 
     def attach(self, core: Core, sim: Simulator) -> None:
         """Take control of ``core``; static policies act immediately."""
         self.core = core
         self.sim = sim
+        #: repro.obs: governors record on their core's track, so a
+        #: governor decision and the P-state transition it caused land
+        #: on the same Perfetto row.
+        self.tracer = sim.tracer
+        self.trace_track = core.trace_track
         self.on_attach()
 
     def detach(self) -> None:
@@ -45,6 +53,23 @@ class Governor:
 
     def on_detach(self) -> None:
         """Called when detached; override to cancel timers."""
+
+    def trace_args(self) -> dict:
+        """Extra per-policy fields for this governor's trace instants.
+
+        Overridden by governors with tunables worth seeing next to each
+        decision (ondemand's threshold, conservative's requested
+        frequency); the base contributes nothing.
+        """
+        return {}
+
+    def _trace_pin(self, freq_ghz: float) -> None:
+        """Record a static governor pinning its core at ``freq_ghz``."""
+        if self.tracer.enabled:
+            assert self.sim is not None
+            self.tracer.instant(self.trace_track,
+                                f"governor:{self.name}:pin",
+                                self.sim.now, pinned_ghz=freq_ghz)
 
 
 class DynamicGovernor(Governor):
@@ -89,6 +114,12 @@ class DynamicGovernor(Governor):
         self.samples_taken += 1
 
         target = self.target_frequency(utilization)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.trace_track, f"governor:{self.name}", now,
+                utilization=round(utilization, 6),
+                target_ghz=target if target is not None else self.core.freq,
+                **self.trace_args())
         if target is not None and abs(target - self.core.freq) > 1e-12:
             self.core.set_frequency(target)
         self._timer = self.sim.schedule(self.sampling_period_s, self._sample)

@@ -68,3 +68,6 @@ class ConservativeGovernor(DynamicGovernor):
         else:
             return None
         return table.nearest_at_least(self._requested)
+
+    def trace_args(self) -> dict:
+        return {"requested_ghz": self._requested}

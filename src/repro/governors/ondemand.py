@@ -44,3 +44,6 @@ class OnDemandGovernor(DynamicGovernor):
         # freq_next = load * max_freq / 100, relation L.
         target = utilization * table.max_freq
         return table.nearest_at_least(max(target, table.min_freq))
+
+    def trace_args(self) -> dict:
+        return {"up_threshold": self.up_threshold}

@@ -19,6 +19,7 @@ class PerformanceGovernor(Governor):
 
     def on_attach(self) -> None:
         assert self.core is not None
+        self._trace_pin(self.core.pstates.max_freq)
         self.core.set_frequency(self.core.pstates.max_freq)
 
 
@@ -29,6 +30,7 @@ class PowersaveGovernor(Governor):
 
     def on_attach(self) -> None:
         assert self.core is not None
+        self._trace_pin(self.core.pstates.min_freq)
         self.core.set_frequency(self.core.pstates.min_freq)
 
 
@@ -45,6 +47,7 @@ class UserspaceGovernor(Governor):
         if self.freq_ghz not in self.core.pstates:
             raise ValueError(
                 f"{self.freq_ghz} GHz not on core's P-state grid")
+        self._trace_pin(self.freq_ghz)
         self.core.set_frequency(self.freq_ghz)
 
     def set_speed(self, freq_ghz: float) -> None:

@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="processes for sweep cells (default: "
                              "REPRO_JOBS or the machine's cpu count)")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="export a Perfetto trace (.trace.json, open "
+                             "at ui.perfetto.dev) and metric-series CSV "
+                             "per cell into DIR; traced cells always "
+                             "re-run (never served from the cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear-cache", action="store_true",
@@ -89,6 +94,7 @@ def main(argv=None) -> int:
         options.seed = args.seed
     options.jobs = args.jobs
     options.use_cache = not args.no_cache
+    options.trace_dir = args.trace
 
     if args.clear_cache:
         removed = SweepCache().clear()

@@ -36,6 +36,9 @@ from repro.harness.profiling import perf_clock
 from repro.harness.schemes import scheme_named
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.power import PowerMeter
+from repro.obs.export import export_chrome_trace, export_series_csv
+from repro.obs.metrics import MetricRegistry, MetricsSampler
+from repro.obs.trace import NULL_TRACER, Tracer, trace_enabled
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workloads import tpcc, tpce, ycsb
@@ -129,6 +132,16 @@ class ExperimentConfig:
     routing: str = "rh-round-robin"
     #: Idle C-state ladder: "c1" (paper-effective) or "deep" (extension).
     cstate_ladder: str = "c1"
+    #: repro.obs: ``None`` defers to ``REPRO_TRACE``; True/False force
+    #: tracing on/off for this cell.  Setting either export path
+    #: implies ``trace=True``.
+    trace: Optional[bool] = None
+    #: Write the Chrome/Perfetto trace JSON here after the run.
+    trace_path: Optional[str] = None
+    #: Write the sampled metric series as CSV here after the run.
+    trace_series_path: Optional[str] = None
+    #: Metrics sampling cadence on the virtual clock (seconds).
+    trace_sample_interval_s: float = 0.25
 
 
 @dataclass
@@ -158,6 +171,8 @@ class ExperimentResult:
     #: while everything above is seed-deterministic).
     sim_events: int = 0
     wall_seconds: float = 0.0
+    #: Trace events recorded (0 when tracing is off); seed-deterministic.
+    trace_events: int = 0
 
     def summary(self) -> str:
         return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
@@ -209,13 +224,26 @@ def _train_estimator(estimator: ExecutionTimeEstimator,
                                   ref_seconds * model.ref_freq_ghz / freq)
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one cell and return the paper's metrics for it."""
+def run_experiment(config: ExperimentConfig,
+                   tracer: Optional[Tracer] = None) -> ExperimentResult:
+    """Execute one cell and return the paper's metrics for it.
+
+    Pass an explicit ``tracer`` to capture the run's trace in-process;
+    otherwise ``config.trace`` / ``REPRO_TRACE`` decide (and setting
+    ``config.trace_path`` or ``config.trace_series_path`` implies
+    tracing on, since an export was asked for).
+    """
     wall_start = perf_clock()
     scheme = scheme_named(config.scheme)
     spec = BENCHMARKS[config.benchmark]()
     streams = RandomStreams(config.seed)
-    sim = Simulator()
+    if tracer is None:
+        want_trace = config.trace
+        if want_trace is None and (config.trace_path
+                                   or config.trace_series_path):
+            want_trace = True
+        tracer = Tracer() if trace_enabled(want_trace) else NULL_TRACER
+    sim = Simulator(tracer=tracer)
     manager = _build_workloads(config, spec)
 
     server_config = ServerConfig(
@@ -293,6 +321,42 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     server.add_completion_listener(recorder.on_completion)
     server.add_rejection_listener(recorder.on_rejection)
 
+    # repro.obs: the Prometheus-style registry mirrors what the paper
+    # plots over time (Figures 6-12): wall power, queue depth, per-core
+    # frequency, misses, latency.  Gauges read live simulation state
+    # through callbacks; the sampler snapshots everything on the
+    # virtual clock, so the series are seed-deterministic.
+    sampler: Optional[MetricsSampler] = None
+    if tracer.enabled:
+        registry = MetricRegistry()
+        registry.gauge("power_watts", "instantaneous wall draw",
+                       fn=server.wall_power)
+        registry.gauge("queue_depth_total", "requests queued, all workers",
+                       fn=lambda: float(server.total_queue_length()))
+        registry.gauge("pending_events", "live simulator events",
+                       fn=lambda: float(sim.pending_count()))
+        for core in server.cores:
+            registry.gauge(f"freq_ghz.core{core.core_id}",
+                           "core operating frequency",
+                           fn=lambda c=core: c.freq)
+        miss_counter = registry.counter("deadline_misses")
+        done_counter = registry.counter("txn_completed")
+        reject_counter = registry.counter("txn_rejected")
+        latency_hist = registry.histogram("txn_latency_s")
+
+        def _obs_completion(request: Request) -> None:
+            done_counter.inc()
+            latency_hist.observe(request.latency)
+            if not request.met_deadline:
+                miss_counter.inc()
+
+        server.add_completion_listener(_obs_completion)
+        server.add_rejection_listener(lambda _r: reject_counter.inc())
+        sampler = MetricsSampler(
+            sim, registry, interval_s=config.trace_sample_interval_s,
+            tracer=tracer)
+        sampler.start()
+
     test_start = config.warmup_seconds
     if schedule is not None:
         test_duration = schedule.duration
@@ -323,6 +387,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if not sim.step():
             break
     meter.stop()
+
+    trace_event_count = 0
+    if tracer.enabled:
+        if sampler is not None:
+            sampler.stop()
+            sampler.sample_once()  # final state at the end of the drain
+        tracer.finalize(sim.now)
+        trace_event_count = len(tracer.events)
+        if config.trace_path:
+            export_chrome_trace(tracer, config.trace_path)
+        if config.trace_series_path and sampler is not None:
+            export_series_csv(sampler, config.trace_series_path)
 
     # ------------------------------------------------------------------
     # Collect
@@ -370,4 +446,5 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         mean_latency_by_workload=mean_latency,
         sim_events=sim.events_processed,
         wall_seconds=perf_clock() - wall_start,
+        trace_events=trace_event_count,
     )

@@ -58,6 +58,10 @@ class FigureOptions:
     use_cache: bool = True
     #: Optional shared timing report (the CLI wires one in per figure).
     report: Optional[TimingReport] = None
+    #: repro.obs: when set (CLI ``--trace DIR``), every cell exports a
+    #: Perfetto trace + metric-series CSV under this directory, named
+    #: by a slug of the cell's distinguishing fields.
+    trace_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "FigureOptions":
@@ -85,9 +89,36 @@ class FigureOptions:
     def run_cells(self, configs) -> List[ExperimentResult]:
         """Run a grid of independent cells through the sweep runner
         (parallel where possible, cached on disk, deterministic order)."""
+        configs = list(configs)
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            seen: Dict[str, int] = {}
+            for config in configs:
+                slug = _cell_slug(config)
+                n = seen.get(slug, 0)
+                seen[slug] = n + 1
+                if n:
+                    slug = f"{slug}-{n}"
+                config.trace_path = os.path.join(
+                    self.trace_dir, f"{slug}.trace.json")
+                config.trace_series_path = os.path.join(
+                    self.trace_dir, f"{slug}.series.csv")
         runner = SweepRunner(jobs=self.jobs, use_cache=self.use_cache,
                              report=self.report)
         return runner.run(configs)
+
+
+def _cell_slug(config: ExperimentConfig) -> str:
+    """Filesystem-safe name for one cell's trace artifacts."""
+    parts = [config.benchmark, config.scheme,
+             f"load{config.load_fraction:g}", f"slack{config.slack:g}"]
+    if config.routing != "rh-round-robin":
+        parts.append(config.routing)
+    if config.cstate_ladder != "c1":
+        parts.append(config.cstate_ladder)
+    if config.workload_policy != "per-type":
+        parts.append(config.workload_policy)
+    return "-".join(str(p).replace("/", "_") for p in parts)
 
 
 # ----------------------------------------------------------------------

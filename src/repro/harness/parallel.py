@@ -44,6 +44,7 @@ from typing import Callable, List, Optional, Sequence
 
 import repro
 from repro.analysis.sanitizer import simsan_enabled
+from repro.obs.trace import trace_enabled
 from repro.harness.experiment import (
     ExperimentConfig, ExperimentResult, run_experiment,
 )
@@ -107,6 +108,9 @@ def config_key(config: ExperimentConfig, salt: Optional[str] = None) -> str:
         # are what simsan exists to doubt: keep their cache entries
         # disjoint so a sanitizer experiment can never feed a figure.
         "simsan": simsan_enabled(),
+        # Traced runs carry extra diagnostics (trace_events) in their
+        # results; same disjointness argument as simsan.
+        "trace": trace_enabled(),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -173,6 +177,14 @@ def _run_cell(config: ExperimentConfig) -> ExperimentResult:
     return run_experiment(config)
 
 
+def _cacheable(config: ExperimentConfig) -> bool:
+    """Cells that asked for trace artifacts always run: a cache hit
+    would return the metrics without ever writing the requested files.
+    (Env-level ``REPRO_TRACE=1`` without export paths still caches ---
+    under its own salt --- since no artifact was requested.)"""
+    return config.trace_path is None and config.trace_series_path is None
+
+
 def _cell_label(config: ExperimentConfig) -> str:
     return (f"{config.benchmark}/{config.scheme}"
             f"/load={config.load_fraction:g}/slack={config.slack:g}")
@@ -220,7 +232,7 @@ class SweepRunner:
         misses: List[int] = []
         hits = 0
         for i, config in enumerate(configs):
-            if self.use_cache:
+            if self.use_cache and _cacheable(config):
                 keys[i] = config_key(config, salt)
                 cached = self.cache.get(keys[i])
                 if cached is not None:

@@ -1,0 +1,42 @@
+"""repro.obs --- deterministic tracing and time-series metrics.
+
+The observability subsystem records *why* the simulated system did what
+it did: per-transaction spans (enqueue -> dispatch -> execute ->
+complete), instant events for scheduler decisions (EDF dispatches,
+SetProcessorFreq selections with the slack estimate that drove them,
+P-state transitions, governor samples), and Prometheus-style time-series
+metrics (queue depth, per-core frequency, power draw, deadline misses)
+sampled on the simulator's **virtual clock** --- so every trace is a
+bit-deterministic function of ``(ExperimentConfig, seed)``.
+
+Three layers:
+
+* :mod:`repro.obs.trace` --- the :class:`Tracer` event sink and the
+  ``REPRO_TRACE`` enable hook (same no-op-when-disabled pattern as
+  simsan: components test one pre-resolved boolean).
+* :mod:`repro.obs.metrics` --- counters/gauges/histograms and the
+  virtual-time :class:`MetricsSampler`.
+* :mod:`repro.obs.export` --- Chrome trace-event / Perfetto JSON
+  (open the file at ``ui.perfetto.dev``), CSV series dumps, a
+  structural validator, and a plain-text summary report.
+"""
+
+from repro.obs.export import (
+    build_trace_events, export_chrome_trace, export_series_csv,
+    trace_summary, validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricRegistry, MetricsSampler,
+)
+from repro.obs.trace import (
+    NULL_TRACER, TRACE_ENV, TraceTrack, Tracer, resolve_tracer,
+    trace_enabled,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricRegistry", "MetricsSampler",
+    "NULL_TRACER", "TRACE_ENV", "TraceTrack", "Tracer",
+    "build_trace_events", "export_chrome_trace", "export_series_csv",
+    "resolve_tracer", "trace_enabled", "trace_summary",
+    "validate_chrome_trace",
+]

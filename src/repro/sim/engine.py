@@ -30,6 +30,7 @@ import heapq
 from typing import Callable, List, Optional
 
 from repro.analysis.sanitizer import invariant, simsan_enabled
+from repro.obs.trace import Tracer, resolve_tracer
 
 #: Compaction triggers when the heap holds more than this many cancelled
 #: events *and* they outnumber the live ones.  Small enough to bound
@@ -89,14 +90,15 @@ class Event:
         return (self.time, self.priority, self.seq) < (
             other.time, other.priority, other.seq)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         if self.cancelled:
             state = "cancelled"
         elif self.callback is None:
             state = "fired"
         else:
             state = "pending"
-        return f"<Event t={self.time:.9f} prio={self.priority} {state}>"
+        return (f"<Event t={self.time:.9f} prio={self.priority} "
+                f"seq={self.seq} {state}>")
 
 
 class Simulator:
@@ -113,12 +115,21 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0,
-                 sanitize: Optional[bool] = None):
+                 sanitize: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None):
         self.now: float = start_time
         #: simsan: resolved once at construction (arg > REPRO_SIMSAN env)
         #: and hoisted into a local before hot loops, so a disabled
         #: sanitizer costs one boolean test per event.
         self.sanitize: bool = simsan_enabled(sanitize)
+        #: repro.obs: the simulator carries the tracer so every
+        #: component that holds a ``sim`` reference (cores, servers,
+        #: governors) reads ``sim.tracer`` --- the same inheritance
+        #: path as ``sim.sanitize``.  The engine itself records only
+        #: run boundaries, *outside* the event loop: per-event tracing
+        #: lives in the components, so a disabled tracer costs the hot
+        #: loop nothing at all.
+        self.tracer: Tracer = resolve_tracer(tracer)
         self._heap: List[Event] = []
         self._seq: int = 0
         self._running: bool = False
@@ -177,6 +188,11 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         sanitize = self.sanitize
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(tracer.track("sim", "engine"), "run:begin",
+                           self.now, pending=self._live,
+                           until_s=until if until is not None else -1.0)
         processed = 0
         try:
             while heap and not self._stopped:
@@ -202,6 +218,10 @@ class Simulator:
                 self.now = until
             if sanitize:
                 self.sanitize_check()
+            if tracer.enabled:
+                tracer.instant(tracer.track("sim", "engine"), "run:end",
+                               self.now, processed=processed,
+                               pending=self._live)
         finally:
             self.events_processed += processed
             self._running = False

@@ -74,6 +74,17 @@ def test_code_version_salt_is_memoized():
     assert len(code_version_salt()) == 64
 
 
+def test_config_key_salted_by_trace_env(monkeypatch):
+    """REPRO_TRACE=1 changes results' observable side channel, so traced
+    and untraced entries must not share cache keys."""
+    from repro.obs.trace import TRACE_ENV
+    config = ExperimentConfig(scheme="polaris", slack=10.0, **FAST)
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    untraced = config_key(config)
+    monkeypatch.setenv(TRACE_ENV, "1")
+    assert config_key(config) != untraced
+
+
 # ----------------------------------------------------------------------
 # cache store
 # ----------------------------------------------------------------------
@@ -162,6 +173,30 @@ def test_interrupted_sweep_resumes_from_partial_cache(tmp_path):
     assert resumed.stats.executed == 2
 
 
+def test_traced_cells_bypass_cache(tmp_path):
+    """A cell exporting trace artifacts must re-run every time: a cache
+    hit would skip writing the files the user asked for."""
+    config = dataclasses.replace(
+        small_grid()[0],
+        trace_path=str(tmp_path / "cell.trace.json"),
+        trace_series_path=str(tmp_path / "cell.series.csv"))
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c")
+    runner.run([config])
+    assert runner.stats.executed == 1
+    (tmp_path / "cell.trace.json").unlink()
+    runner.run([config])
+    assert runner.stats.executed == 1
+    assert runner.stats.cache_hits == 0
+    # The artifact was re-written on the second run too.
+    assert (tmp_path / "cell.trace.json").exists()
+    assert (tmp_path / "cell.series.csv").exists()
+    # Untraced sibling cells still cache normally.
+    plain = small_grid()[0]
+    runner.run([plain])
+    runner.run([plain])
+    assert runner.stats.cache_hits == 1
+
+
 def test_no_cache_mode_never_touches_disk(tmp_path):
     runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c", use_cache=False)
     runner.run(small_grid()[:1])
@@ -245,6 +280,28 @@ def test_trajectory_survives_corrupt_file(tmp_path):
 def test_cli_flags(tmp_path, monkeypatch):
     from repro.harness.cli import build_parser
     args = build_parser().parse_args(
-        ["fig6", "--jobs", "4", "--no-cache", "--clear-cache"])
+        ["fig6", "--jobs", "4", "--no-cache", "--clear-cache",
+         "--trace", str(tmp_path / "traces")])
     assert args.jobs == 4
     assert args.no_cache and args.clear_cache
+    assert args.trace == str(tmp_path / "traces")
+
+
+def test_slack_sweep_trace_dir_writes_per_cell_artifacts(tmp_path):
+    """--trace DIR exports one Perfetto trace + series CSV per grid
+    cell, named by a stable cell slug."""
+    import os
+    base = dict(workers=2, warmup_seconds=0.3, test_seconds=0.8,
+                seed=5, slacks=(10,), use_cache=False)
+    options = FigureOptions(jobs=1, trace_dir=str(tmp_path / "t"), **base)
+    slack_sweep("tpcc", 0.6, ("polaris", "static-2.8"), options, "sweep")
+    names = sorted(os.listdir(tmp_path / "t"))
+    traces = [n for n in names if n.endswith(".trace.json")]
+    assert len(traces) == 2
+    assert any("polaris" in n for n in traces)
+    assert any("static-2.8" in n for n in traces)
+    assert sum(n.endswith(".series.csv") for n in names) == 2
+    from repro.obs.export import validate_chrome_trace
+    for name in traces:
+        stats = validate_chrome_trace(str(tmp_path / "t" / name))
+        assert stats["events"] > 0

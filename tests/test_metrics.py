@@ -193,8 +193,26 @@ def test_format_table_alignment():
 
 
 def test_format_table_row_width_checked():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="row width 2 != header width 1"):
         format_table(["a"], [[1, 2]])
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1, 2], [3]])
+
+
+def test_format_table_empty_rows_renders_header_only():
+    text = format_table(["name", "value"], [])
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("name") and "value" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_format_table_title_rendering():
+    titled = format_table(["a"], [[1]], title="Trace summary")
+    assert titled.splitlines()[0] == "Trace summary"
+    untitled = format_table(["a"], [[1]])
+    assert untitled.splitlines()[0].startswith("a")
+    assert titled.splitlines()[1:] == untitled.splitlines()
 
 
 def test_format_series():

@@ -160,6 +160,19 @@ def test_rl006_exemption_table_documents_reasons():
         assert reason.strip(), f"exemption {name!r} has no reason"
 
 
+def test_rl006_obs_dir_checked_with_trace_unit_exemptions():
+    obs = "src/repro/obs/x.py"
+    # obs is in scope: bare time-ish names are flagged there.
+    assert "RL006" in codes("def f(self, ts):\n    pass\n", path=obs)
+    assert "RL006" in codes("def f(self, dur):\n    pass\n", path=obs)
+    assert "RL006" in codes("def f(self, timestamp):\n    pass\n", path=obs)
+    # The Chrome trace-event integer-microsecond fields are audited
+    # exemptions, not suffix violations.
+    assert codes("def f(self, ts_us, dur_us):\n    pass\n", path=obs) == []
+    assert "ts_us" in rules_module.RL006_AUDITED_EXEMPTIONS
+    assert "dur_us" in rules_module.RL006_AUDITED_EXEMPTIONS
+
+
 # ----------------------------------------------------------------------
 # RL007 swallowed exceptions
 # ----------------------------------------------------------------------

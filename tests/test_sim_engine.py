@@ -154,6 +154,18 @@ def test_cancel_after_fire_is_noop(sim):
     assert sim.pending_count() == 0
 
 
+def test_event_repr_shows_time_priority_seq_state(sim):
+    event = sim.schedule(1.5, lambda: None, priority=2)
+    text = repr(event)
+    assert text == f"<Event t=1.500000000 prio=2 seq={event.seq} pending>"
+    event.cancel()
+    assert repr(event).endswith("cancelled>")
+    fired = sim.schedule(0.5, lambda: None)
+    sim.run(until=1.0)
+    assert repr(fired).endswith("fired>")
+    assert f"seq={fired.seq}" in repr(fired)
+
+
 def test_cancel_twice_counts_once(sim):
     event = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)

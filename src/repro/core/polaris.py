@@ -82,6 +82,11 @@ class PolarisScheduler:
         #: *what* it decided and why (floor, slack), never emits events.
         self.trace_decisions = False
         self.last_decision: Optional[dict] = None
+        #: repro.faults: while True (set by the resilience controller's
+        #: panic mode), SetProcessorFreq short-circuits to the highest
+        #: frequency --- surviving cores run flat out until the windowed
+        #: deadline-miss rate recovers and the controller clears it.
+        self.panic = False
 
     def _make_queue(self) -> RequestQueue:
         return EdfQueue()
@@ -127,6 +132,16 @@ class PolarisScheduler:
         """
         self.invocations += 1
         freqs = self.frequencies
+        if self.panic:
+            # Panic mode (repro.faults): deadline misses are already
+            # epidemic, so skip the walk and run flat out.
+            if self.trace_decisions:
+                self.last_decision = {
+                    "selected_ghz": freqs[-1], "floor_ghz": freqs[-1],
+                    "queue_len": len(self.queue), "remaining_s": 0.0,
+                    "slack_s": None, "early_exit": True, "panic": True,
+                }
+            return freqs[-1]
         nf = len(freqs)
         estimate = self.estimator.estimate
 

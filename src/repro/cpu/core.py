@@ -113,6 +113,17 @@ class Core:
         self._completion: Optional[Event] = None
         self._on_complete: Optional[Callable[[Job], None]] = None
 
+        # --- degraded regimes (repro.faults) ---------------------------
+        #: Thermal-throttle ceiling (GHz); ``None`` when unthrottled.
+        #: While set, requested frequencies above it are clamped to the
+        #: fastest table entry at or below the ceiling.
+        self.throttle_ceiling_ghz: Optional[float] = None
+        #: True while the core is frozen (contention stall / offlined):
+        #: the running job's progress is banked and nothing executes
+        #: until :meth:`resume`.
+        self.stalled: bool = False
+        self.stall_started_s: Optional[float] = None
+
         # --- accounting -------------------------------------------------
         self._segment_start: float = sim.now
         self._segment_busy: bool = False
@@ -153,6 +164,8 @@ class Core:
         """
         if self._job is not None:
             raise RuntimeError(f"core {self.core_id} is busy")
+        if self.stalled:
+            raise RuntimeError(f"core {self.core_id} is stalled")
         idle_duration = self.sim.now - self._segment_start
         wake = self.cstates.wake_latency(idle_duration)
         self._close_segment()
@@ -192,10 +205,13 @@ class Core:
         The remaining work of a running job is recomputed against the
         new frequency and its completion event rescheduled.  A non-zero
         ``transition_latency`` stalls the running job for that long.
+        Under an active thermal-throttle ceiling the request is clamped
+        to the fastest achievable P-state at or below the ceiling.
         """
         if freq_ghz not in self.pstates:
             raise ValueError(
                 f"{freq_ghz} GHz not in core {self.core_id}'s P-state table")
+        freq_ghz = self.achievable_frequency(freq_ghz)
         if abs(freq_ghz - self.freq) < 1e-12:
             return
         if self.tracer.enabled:
@@ -210,8 +226,10 @@ class Core:
                 self.trace_track, f"freq_ghz.core{self.core_id}",
                 self.sim.now, freq_ghz=freq_ghz)
         self._close_segment()
-        if self._job is not None:
-            # Bank progress made at the old frequency.
+        if self._job is not None and not self.stalled:
+            # Bank progress made at the old frequency.  (A stalled core
+            # already banked it and has no completion pending; the new
+            # frequency simply applies when it resumes.)
             ran = max(0.0, self.sim.now - self._progress_mark)
             self._executed = min(self._job.work, self._executed + ran * self.freq)
             self._progress_mark = self.sim.now + self.transition_latency
@@ -222,6 +240,81 @@ class Core:
                 self.transition_latency + remaining / freq_ghz, self._complete)
         self.freq = freq_ghz
         self.freq_transitions += 1
+        if self.sanitize:
+            self.sanitize_check()
+
+    def achievable_frequency(self, freq_ghz: float) -> float:
+        """What ``set_frequency(freq_ghz)`` would actually deliver.
+
+        Identity when unthrottled; under a ceiling, the fastest table
+        frequency not exceeding it.  Callers verifying a DVFS write
+        took effect compare against this, so a throttle clamp is never
+        mistaken for a failed write.
+        """
+        ceiling_ghz = self.throttle_ceiling_ghz
+        if ceiling_ghz is None or freq_ghz <= ceiling_ghz + 1e-12:
+            return freq_ghz
+        return self.pstates.nearest_at_most(ceiling_ghz)
+
+    # ------------------------------------------------------------------
+    # Degraded regimes (repro.faults)
+    # ------------------------------------------------------------------
+    def set_throttle_ceiling(self, ceiling_ghz: Optional[float]) -> None:
+        """Apply (or clear, with ``None``) a thermal-throttle ceiling.
+
+        Entering a throttle window immediately steps an over-ceiling
+        core down; leaving one changes nothing until the next frequency
+        decision, as on real hardware (the OS re-raises, not the PROCHOT
+        deassertion).
+        """
+        self.throttle_ceiling_ghz = ceiling_ghz
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.trace_track, "throttle:ceiling", self.sim.now,
+                ceiling_ghz=ceiling_ghz if ceiling_ghz is not None else -1.0)
+        if ceiling_ghz is not None and self.freq > ceiling_ghz + 1e-12:
+            self.set_frequency(self.pstates.nearest_at_most(ceiling_ghz))
+        elif self.sanitize:
+            self.sanitize_check()
+
+    def stall(self) -> None:
+        """Freeze the core: bank the running job's progress and stop.
+
+        Models a contention stall, SMI, or outright core failure.  The
+        in-flight job (if any) keeps its banked giga-cycles and resumes
+        where it left off on :meth:`resume`; power drops to the idle
+        floor while frozen.  Idempotent.
+        """
+        if self.stalled:
+            return
+        self._close_segment()
+        if self._job is not None:
+            ran = max(0.0, self.sim.now - self._progress_mark)
+            self._executed = min(self._job.work,
+                                 self._executed + ran * self.freq)
+            if self._completion is not None:
+                self._completion.cancel()
+                self._completion = None
+        self._segment_busy = False
+        self.stalled = True
+        self.stall_started_s = self.sim.now
+        if self.sanitize:
+            self.sanitize_check()
+
+    def resume(self) -> None:
+        """Unfreeze a stalled core; a banked job continues its remaining
+        work at the current frequency.  Idempotent."""
+        if not self.stalled:
+            return
+        self._close_segment()
+        self.stalled = False
+        self.stall_started_s = None
+        if self._job is not None:
+            self._segment_busy = True
+            self._progress_mark = self.sim.now
+            remaining = max(0.0, self._job.work - self._executed)
+            self._completion = self.sim.schedule(remaining / self.freq,
+                                                 self._complete)
         if self.sanitize:
             self.sanitize_check()
 
@@ -292,22 +385,37 @@ class Core:
           change would silently stretch or truncate the transaction);
         * **power-consistency** --- the power model agrees with the
           P-state physics at the current operating point: nonnegative
-          draw, and active power at least the idle floor.
+          draw, and active power at least the idle floor;
+        * **throttle-ceiling** --- under an active thermal throttle the
+          operating frequency respects the ceiling (clamped to the grid:
+          a ceiling below the table floor allows the floor frequency).
         """
         invariant(self.pstates.in_bounds(self.freq), "freq-bounds",
                   "core frequency is outside the P-state table bounds",
                   core_id=self.core_id, freq=self.freq,
                   min_freq=self.pstates.min_freq,
                   max_freq=self.pstates.max_freq, now=self.sim.now)
+        if self.throttle_ceiling_ghz is not None:
+            limit_ghz = max(self.throttle_ceiling_ghz,
+                            self.pstates.min_freq)
+            invariant(self.freq <= limit_ghz + 1e-9, "throttle-ceiling",
+                      "core runs above an active thermal-throttle ceiling",
+                      core_id=self.core_id, freq=self.freq,
+                      ceiling_ghz=self.throttle_ceiling_ghz,
+                      now=self.sim.now)
         if self._job is not None:
             invariant(0.0 <= self._executed <= self._job.work + 1e-9,
                       "work-cycles",
                       "banked work is negative or exceeds the job size",
                       core_id=self.core_id, executed=self._executed,
                       work=self._job.work, now=self.sim.now)
-            invariant(self._completion is not None
-                      and not self._completion.cancelled, "work-cycles",
+            invariant(self.stalled or (self._completion is not None
+                      and not self._completion.cancelled), "work-cycles",
                       "running job has no pending completion event",
+                      core_id=self.core_id, now=self.sim.now)
+            invariant(not self.stalled or self._completion is None,
+                      "work-cycles",
+                      "stalled core still has a completion scheduled",
                       core_id=self.core_id, now=self.sim.now)
         active = self.power_model.active_power(self.freq)
         idle = self.power_model.idle_power(self.freq)

@@ -20,7 +20,7 @@ uses:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 IA32_PERF_STATUS = 0x198
 IA32_PERF_CTL = 0x199
@@ -43,8 +43,24 @@ def encode_perf_ctl(freq_ghz: float) -> int:
     return ratio << 8
 
 
+#: The bits of IA32_PERF_CTL this model implements: the target ratio in
+#: 15:8.  Everything else is reserved here (the SDM's IDA-disengage bit
+#: 32 included) and a write setting any of them is rejected rather than
+#: silently decoded into a nonsense frequency.
+_PERF_CTL_RATIO_MASK = 0xFF00
+
+
 def decode_perf_ctl(value: int) -> float:
-    """Decode an IA32_PERF_CTL value back to GHz."""
+    """Decode an IA32_PERF_CTL value back to GHz.
+
+    Rejects malformed encodings with :class:`MsrError`: negative or
+    oversized values, set reserved bits, and the ratio-0 encoding all
+    indicate a corrupted write, not a slow P-state.
+    """
+    if value < 0 or value & ~_PERF_CTL_RATIO_MASK:
+        raise MsrError(
+            f"PERF_CTL value {value:#x} sets bits outside the "
+            f"target-ratio field (15:8)")
     ratio = (value >> 8) & 0xFF
     if ratio == 0:
         raise MsrError(f"PERF_CTL value {value:#x} encodes ratio 0")
@@ -65,12 +81,41 @@ class MsrFile:
         self.rapl = rapl
         self.esu_exponent = esu_exponent
         self._scratch: Dict[int, int] = {}
+        #: repro.faults seam: when set, consulted per PERF_CTL write.
+        #: Returning ``"error"`` makes the write raise :class:`MsrError`
+        #: (the driver's -EIO path); ``"stuck"`` silently drops it (the
+        #: firmware ate the write and the core keeps its P-state);
+        #: ``None`` lets it through.  Unset outside fault experiments.
+        self.fault_hook: Optional[Callable[[int, int],
+                                           Optional[str]]] = None
 
     # ------------------------------------------------------------------
     def write(self, address: int, value: int) -> None:
-        """``wrmsr``: only PERF_CTL is writable in this model."""
+        """``wrmsr``: only PERF_CTL is writable in this model.
+
+        The encoding is validated *before* the fault hook runs: a
+        malformed value is a caller bug and always raises, while an
+        injected failure only affects well-formed writes.  A decoded
+        frequency outside the core's P-state table is likewise an
+        :class:`MsrError` --- real silicon clamps unsupported ratios,
+        but in a simulation a mis-targeted frequency means a bug
+        upstream, so it is surfaced instead of decoded into nonsense.
+        """
         if address == IA32_PERF_CTL:
-            self.core.set_frequency(decode_perf_ctl(value))
+            freq_ghz = decode_perf_ctl(value)
+            if freq_ghz not in self.core.pstates:
+                raise MsrError(
+                    f"PERF_CTL ratio encodes {freq_ghz} GHz, not a "
+                    f"P-state of core {self.core.core_id}")
+            if self.fault_hook is not None:
+                action = self.fault_hook(address, value)
+                if action == "error":
+                    raise MsrError(
+                        f"injected DVFS write failure on core "
+                        f"{self.core.core_id}")
+                if action == "stuck":
+                    return  # write silently dropped; P-state unchanged
+            self.core.set_frequency(freq_ghz)
             self._scratch[address] = value
         else:
             raise MsrError(f"write to unsupported MSR {address:#x}")

@@ -115,6 +115,18 @@ class PStateTable:
                 return state.freq_ghz
         return self.max_freq
 
+    def nearest_at_most(self, freq_ghz: float) -> float:
+        """Largest table frequency <= ``freq_ghz`` (min frequency if none).
+
+        The downward counterpart of :meth:`nearest_at_least`
+        (``CPUFREQ_RELATION_H``); used to honor thermal-throttle
+        ceilings, which cap how fast a core may run.
+        """
+        for state in reversed(self._states):
+            if state.freq_ghz <= freq_ghz + 1e-12:
+                return state.freq_ghz
+        return self.min_freq
+
     def step_up(self, freq_ghz: float, steps: int = 1) -> float:
         """Frequency ``steps`` levels above ``freq_ghz``, clamped to max."""
         idx = self._index_of(freq_ghz)

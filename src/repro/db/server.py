@@ -24,11 +24,12 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import invariant
 from repro.core.request import Request, RequestState
 from repro.core.routing import RoutingPolicy, make_routing
 from repro.cpu.core import Core, Job
 from repro.cpu.cstates import C1_ONLY, CStateModel, DEEP_LADDER
-from repro.cpu.msr import IA32_PERF_CTL, MsrFile, encode_perf_ctl
+from repro.cpu.msr import IA32_PERF_CTL, MsrError, MsrFile, encode_perf_ctl
 from repro.cpu.power import CorePowerModel, ServerPowerModel
 from repro.cpu.pstates import POLARIS_FREQUENCIES, PStateTable, XEON_E5_2640V3_PSTATES
 from repro.cpu.rapl import RaplPackage
@@ -149,8 +150,34 @@ class Worker:
     def _apply_frequency(self, freq_ghz: Optional[float]) -> None:
         if freq_ghz is None:
             return
-        if abs(freq_ghz - self.core.freq) > 1e-12:
+        resilience = self.server.resilience
+        if resilience is not None:
+            # Any new decision supersedes an in-flight DVFS retry.
+            resilience.cancel_retry(self)
+        if abs(freq_ghz - self.core.freq) <= 1e-12:
+            return
+        try:
             self.msr.write(IA32_PERF_CTL, encode_perf_ctl(freq_ghz))
+        except MsrError:
+            if not self.server.faults_active:
+                raise
+            # Injected DVFS write failure: the core rides its current
+            # P-state; the resilience layer (if armed) owns the retry.
+            if resilience is not None:
+                resilience.on_msr_failure(self, freq_ghz)
+            return
+        if self.server.faults_active and resilience is not None:
+            # Verify the write took effect (a "stuck" fault drops it
+            # silently).  Throttle clamping is expected, not a failure.
+            expected_ghz = self.core.achievable_frequency(freq_ghz)
+            if abs(self.core.freq - expected_ghz) > 1e-12:
+                resilience.on_msr_failure(self, freq_ghz)
+
+    def pin_frequency(self, freq_ghz: float) -> None:
+        """Force a P-state outside the dispatcher's decision path (the
+        resilience layer's panic-mode pin).  Same write/retry semantics
+        as scheduler decisions."""
+        self._apply_frequency(freq_ghz)
 
     # ------------------------------------------------------------------
     # Arrival path (run by a request-handler thread)
@@ -160,8 +187,21 @@ class Worker:
 
         Admission control (if the dispatcher implements it) runs first:
         a rejected request never enters the queue and is reported to the
-        server's rejection listeners.
+        server's rejection listeners.  When a resilience controller with
+        load shedding is attached, overload shedding runs even earlier
+        (a queue past the shed depth rejects before the dispatcher is
+        consulted at all).
         """
+        resilience = self.server.resilience
+        if resilience is not None and resilience.maybe_shed(self, request):
+            request.state = RequestState.REJECTED
+            if self.tracer.enabled:
+                self.tracer.instant(self.trace_track, "txn:shed",
+                                    self.server.sim.now,
+                                    txn_type=request.txn_type,
+                                    deadline=request.deadline)
+            self.server.notify_rejection(request)
+            return
         admits = getattr(self.dispatcher, "admits", None)
         if admits is not None and not admits(
                 self.server.sim.now, self.current,
@@ -196,9 +236,49 @@ class Worker:
             self._apply_frequency(freq)
 
     # ------------------------------------------------------------------
+    # Degraded-mode entry points (repro.faults)
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Dispatch if idle --- called when a stalled core resumes, so
+        requests that queued up during the freeze start draining."""
+        if self.idle and not self.core.stalled:
+            self._dispatch_next()
+
+    def receive_migrated(self, request: Request) -> None:
+        """Adopt a request migrated off a quarantined worker.
+
+        Bypasses admission control and shedding --- the request was
+        already admitted once; migration must never lose it.  The
+        dispatcher re-sorts it by deadline (EDF queues) and the same
+        arrival-path frequency adjustment runs as for a fresh arrival.
+        """
+        self.dispatcher.enqueue(request)
+        if self.tracer.enabled:
+            now_s = self.server.sim.now
+            self.tracer.async_instant("txn", request.request_id,
+                                      "txn:migrated", now_s,
+                                      worker=self.worker_id)
+            self.tracer.counter(self.trace_track,
+                                f"queue_depth.w{self.worker_id}", now_s,
+                                depth=len(self.dispatcher))
+        if self.idle:
+            self._dispatch_next()
+        elif self.dispatcher.adjusts_on_arrival:
+            freq = self.dispatcher.select_frequency(
+                self.server.sim.now, self.current,
+                self.core.running_elapsed())
+            if self.tracer.enabled:
+                self._trace_decision("setfreq:migrated", freq)
+            self._apply_frequency(freq)
+
+    # ------------------------------------------------------------------
     # Completion path (run by the worker itself)
     # ------------------------------------------------------------------
     def _dispatch_next(self) -> None:
+        if self.core.stalled:
+            # A frozen core cannot start work; arrivals keep queueing
+            # until the watchdog migrates them or the core resumes.
+            return
         request = self.dispatcher.next_request()
         if request is None:
             # Empty queue: SetProcessorFreq with no constraints selects
@@ -335,6 +415,16 @@ class DatabaseServer:
         self.functional_executor: Optional[Callable[[Request], object]] = None
         self.submitted = 0
         self.rejected = 0
+        # --- repro.faults ---------------------------------------------
+        #: True while a FaultInjector is attached; workers then treat an
+        #: MsrError from a P-state write as an injected fault (degraded
+        #: operation) instead of a programming error.
+        self.faults_active = False
+        #: The attached ResilienceController, or None (healthy runs).
+        self.resilience = None
+        #: Worker ids the watchdog declared dead; routing probes past
+        #: them.  Membership checks only (never iterated).
+        self.quarantined = set()
 
     # ------------------------------------------------------------------
     # Routing (the RH threads)
@@ -355,6 +445,16 @@ class DatabaseServer:
             self._rh_pointers[rh] = \
                 (worker_index + self.config.request_handlers) \
                 % self.config.workers
+        if self.quarantined:
+            # Probe forward past dead workers; if every worker is
+            # quarantined, fall through to the original choice (the
+            # request then queues and is ultimately counted as lost).
+            base = worker_index
+            for offset in range(self.config.workers):
+                candidate = (base + offset) % self.config.workers
+                if candidate not in self.quarantined:
+                    worker_index = candidate
+                    break
         self.submitted += 1
         self.workers[worker_index].accept(request)
 
@@ -418,6 +518,24 @@ class DatabaseServer:
 
     def total_queue_length(self) -> int:
         return sum(w.queue_length() for w in self.workers)
+
+    def sanitize_accounting(self) -> None:
+        """simsan: conservation of requests (the faulted-regime books).
+
+        Every submitted request is, at any instant, exactly one of:
+        completed, rejected (admission control or shedding), in flight
+        on a core, or queued.  Run after migrations and at end of run;
+        callable directly from tests.
+        """
+        completed = sum(w.completed for w in self.workers)
+        in_flight = sum(1 for w in self.workers if w.current is not None)
+        queued = self.total_queue_length()
+        invariant(self.submitted == completed + self.rejected
+                  + in_flight + queued, "request-accounting",
+                  "requests were lost or double-counted",
+                  submitted=self.submitted, completed=completed,
+                  rejected=self.rejected, in_flight=in_flight,
+                  queued=queued, now=self.sim.now)
 
     def drain(self, timeout: float = 60.0) -> None:
         """Run the simulation until all queues empty (for tests)."""

@@ -1,0 +1,249 @@
+"""Graceful degradation: what the server does when faults land.
+
+One :class:`ResilienceController` per experiment, armed by the plan's
+:class:`~repro.faults.plan.DegradationPolicy`.  Four mechanisms, all on
+the virtual clock and all individually toggleable:
+
+* **DVFS retry** --- a failed (raised or silently-dropped) P-state write
+  is retried with deterministic exponential backoff; after the last
+  attempt the worker falls back to the next-lower achievable P-state.
+  A newer scheduling decision cancels the outstanding retry.
+* **Core watchdog** --- a periodic sweep quarantines workers whose core
+  has been stalled past a threshold, migrating their queued requests to
+  healthy workers (EDF dispatchers re-sort by deadline on arrival).
+  The router probes past quarantined workers from then on.
+* **Load shedding** --- arrivals routed to a worker whose queue is
+  already at the shed depth are rejected through the server's existing
+  rejection-listener path (counted as failures, like Section 1's
+  "reject low value requests when load is high").
+* **Panic mode** --- a sliding window of recent completions tracks the
+  deadline-miss rate; crossing the enter threshold pins every healthy
+  core to the maximum frequency and flips POLARIS's ``panic`` flag so
+  SetProcessorFreq short-circuits to ``fmax``.  Exit is hysteretic.
+
+Every action bumps a named counter in :attr:`ResilienceController.actions`
+and emits an ``obs`` trace instant on the ``faults/resilience`` track,
+so degraded-mode behavior is auditable in Perfetto.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import partial
+from typing import Deque, Dict, Optional
+
+from repro.cpu.msr import IA32_PERF_CTL, MsrError, encode_perf_ctl
+from repro.faults.plan import DegradationPolicy
+
+#: Deterministic ordering of the action counters.
+_ACTIONS = ("msr_retry", "msr_retry_success", "msr_fallback", "msr_giveup",
+            "quarantine", "migration", "migrated_requests", "shed",
+            "panic_enter", "panic_exit")
+
+
+class ResilienceController:
+    """Arms the degradation mechanisms of one experiment's server."""
+
+    def __init__(self, sim, server, policy: DegradationPolicy):
+        self.sim = sim
+        self.server = server
+        self.policy = policy
+        self.actions: Dict[str, int] = {name: 0 for name in _ACTIONS}
+        self.tracer = sim.tracer
+        self.trace_track = self.tracer.track("faults", "resilience")
+        self.panic = False
+        #: worker ids this controller has declared dead.
+        self.quarantined = set()
+        #: worker_id -> pending retry event (one in flight per worker).
+        self._retries: Dict[int, object] = {}
+        self._outcomes: Deque[bool] = deque(maxlen=policy.panic_window)
+
+    def _record(self, action: str, name: str, **payload) -> None:
+        self.actions[action] += 1
+        if self.tracer.enabled:
+            self.tracer.instant(self.trace_track, name, self.sim.now,
+                                **payload)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Install this controller on its server and start the watchdog."""
+        self.server.resilience = self
+        if self.policy.panic_enter_miss_rate is not None:
+            self.server.add_completion_listener(self._on_outcome)
+            # Sheds and other rejections are deadline failures by the
+            # paper's metric, so they count toward the panic window too;
+            # otherwise shedding masks the very overload panic exists to
+            # react to (bounded queues -> every completion on time).
+            self.server.add_rejection_listener(self._on_rejection)
+        if self.policy.watchdog_interval_s is not None:
+            self.sim.schedule(self.policy.watchdog_interval_s,
+                              self._watchdog_tick)
+
+    # ------------------------------------------------------------------
+    # DVFS retry with deterministic backoff
+    # ------------------------------------------------------------------
+    def on_msr_failure(self, worker, target_ghz: float) -> None:
+        """A PERF_CTL write raised or did not take effect; start (or
+        restart) the bounded retry cycle for this worker."""
+        self.cancel_retry(worker)
+        if self.policy.msr_retry_limit < 1:
+            return
+        self._schedule_retry(worker, target_ghz, attempt=1)
+
+    def cancel_retry(self, worker) -> None:
+        """Drop the outstanding retry (a newer decision supersedes it)."""
+        event = self._retries.pop(worker.worker_id, None)
+        if event is not None:
+            event.cancel()
+
+    def _schedule_retry(self, worker, target_ghz: float,
+                        attempt: int) -> None:
+        delay_s = self.policy.retry_backoff_s * (2 ** (attempt - 1))
+        self._retries[worker.worker_id] = self.sim.schedule(
+            delay_s, partial(self._retry, worker, target_ghz, attempt))
+
+    def _retry(self, worker, target_ghz: float, attempt: int) -> None:
+        self._retries.pop(worker.worker_id, None)
+        self._record("msr_retry", "degrade:retry", worker=worker.worker_id,
+                     target_ghz=target_ghz, attempt=attempt)
+        if self._try_write(worker, target_ghz):
+            self.actions["msr_retry_success"] += 1
+            return
+        if attempt < self.policy.msr_retry_limit:
+            self._schedule_retry(worker, target_ghz, attempt + 1)
+            return
+        # Retries exhausted: one shot at the nearest lower P-state, then
+        # give up and let the core ride its stale frequency.
+        fallback_ghz = worker.core.pstates.step_down(target_ghz)
+        if abs(fallback_ghz - target_ghz) > 1e-12 \
+                and self._try_write(worker, fallback_ghz):
+            self._record("msr_fallback", "degrade:retry-fallback",
+                         worker=worker.worker_id, target_ghz=target_ghz,
+                         fallback_ghz=fallback_ghz)
+        else:
+            self._record("msr_giveup", "degrade:retry-giveup",
+                         worker=worker.worker_id, target_ghz=target_ghz)
+
+    def _try_write(self, worker, freq_ghz: float) -> bool:
+        """One write attempt; True iff the core landed on the target
+        (modulo throttle clamping, which is not a write failure)."""
+        try:
+            worker.msr.write(IA32_PERF_CTL, encode_perf_ctl(freq_ghz))
+        except MsrError:
+            return False
+        expected = worker.core.achievable_frequency(freq_ghz)
+        return abs(worker.core.freq - expected) < 1e-12
+
+    # ------------------------------------------------------------------
+    # Watchdog + migration
+    # ------------------------------------------------------------------
+    def _watchdog_tick(self) -> None:
+        policy = self.policy
+        now_s = self.sim.now
+        for worker in self.server.workers:
+            core = worker.core
+            if not core.stalled or worker.worker_id in self.quarantined:
+                continue
+            started_s = core.stall_started_s
+            if started_s is None \
+                    or now_s - started_s < policy.watchdog_stall_threshold_s:
+                continue
+            self._quarantine(worker)
+        self.sim.schedule(policy.watchdog_interval_s, self._watchdog_tick)
+
+    def _quarantine(self, worker) -> None:
+        self.quarantined.add(worker.worker_id)
+        self.server.quarantined.add(worker.worker_id)
+        self._record("quarantine", "degrade:quarantine",
+                     worker=worker.worker_id,
+                     queued=worker.queue_length())
+        self._migrate(worker)
+
+    def _migrate(self, worker) -> None:
+        """Move every queued request off a dead worker, round-robin over
+        the healthy ones (their EDF queues re-sort by deadline)."""
+        requests = []
+        while True:
+            request = worker.dispatcher.next_request()
+            if request is None:
+                break
+            requests.append(request)
+        if not requests:
+            return
+        healthy = [w for w in self.server.workers
+                   if w.worker_id not in self.quarantined
+                   and not w.core.stalled]
+        if not healthy:
+            # Nowhere to go: put them back so end-of-run accounting can
+            # still see (and count) them as lost.
+            for request in requests:
+                worker.dispatcher.enqueue(request)
+            return
+        for index, request in enumerate(requests):
+            healthy[index % len(healthy)].receive_migrated(request)
+        self.actions["migration"] += 1
+        self.actions["migrated_requests"] += len(requests)
+        if self.tracer.enabled:
+            self.tracer.instant(self.trace_track, "degrade:migration",
+                                self.sim.now, source=worker.worker_id,
+                                moved=len(requests),
+                                targets=len(healthy))
+        if self.sim.sanitize:
+            # No request may be lost or double-counted by a migration.
+            self.server.sanitize_accounting()
+
+    # ------------------------------------------------------------------
+    # Load shedding
+    # ------------------------------------------------------------------
+    def maybe_shed(self, worker, request) -> bool:
+        """True (and counted/traced) iff ``request`` should be shed at
+        admission because ``worker``'s queue is past the shed depth."""
+        depth = self.policy.shed_queue_depth
+        if depth is None or worker.queue_length() < depth:
+            return False
+        self._record("shed", "degrade:shed", worker=worker.worker_id,
+                     queue_depth=worker.queue_length(),
+                     txn_type=request.txn_type)
+        return True
+
+    # ------------------------------------------------------------------
+    # Panic mode (hysteretic fmax pinning)
+    # ------------------------------------------------------------------
+    def _on_outcome(self, request) -> None:
+        self._note_outcome(request.met_deadline)
+
+    def _on_rejection(self, request) -> None:
+        self._note_outcome(False)
+
+    def _note_outcome(self, met_deadline: bool) -> None:
+        self._outcomes.append(met_deadline)
+        if len(self._outcomes) < self.policy.panic_window:
+            return
+        misses = sum(1 for met in self._outcomes if not met)
+        rate = misses / len(self._outcomes)
+        if not self.panic and rate >= self.policy.panic_enter_miss_rate:
+            self._set_panic(True, rate)
+        elif self.panic and rate <= self.policy.panic_exit_miss_rate:
+            self._set_panic(False, rate)
+
+    def _set_panic(self, entering: bool, miss_rate: float) -> None:
+        self.panic = entering
+        action = "panic_enter" if entering else "panic_exit"
+        self._record(action, f"degrade:panic:{'enter' if entering else 'exit'}",
+                     miss_rate=miss_rate)
+        if self.tracer.enabled:
+            self.tracer.counter(self.trace_track, "panic_mode",
+                                self.sim.now, active=1 if entering else 0)
+        for worker in self.server.workers:
+            if hasattr(worker.dispatcher, "panic"):
+                worker.dispatcher.panic = entering
+            if entering and worker.worker_id not in self.quarantined \
+                    and not worker.core.stalled:
+                # Pin survivors to fmax immediately; on exit the next
+                # SetProcessorFreq decisions relax frequencies naturally.
+                worker.pin_frequency(worker.core.pstates.max_freq)
+
+
+__all__ = ["ResilienceController"]

@@ -1,0 +1,110 @@
+"""The named chaos-scenario library.
+
+Each scenario is a :class:`~repro.faults.plan.FaultPlan` factory with
+windows sized for the harness's default timelines: faults open at 0.5 s
+(inside even the shortest test phases the suite runs) and persist to
+6.0 s (past the figure runs' test end), so every measurement window
+observes the fault in steady state.
+
+Compose scenarios with ``+``: ``scenario_named("burst+brownout")``
+merges the plans (fault union; the right-hand side wins any armed
+degradation knob).  The CLI and ``ExperimentConfig(faults="name")``
+both accept these strings, as does ``REPRO_FAULTS``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.faults.plan import (
+    BurstSpec, DegradationPolicy, FaultPlan, MsrFaultSpec, StallSpec,
+    ThrottleSpec,
+)
+
+_START_S = 0.5
+_END_S = 6.0
+
+
+def burst() -> FaultPlan:
+    """Overload: offered load nearly doubles; shedding keeps queues
+    bounded so admitted requests still meet deadlines."""
+    return FaultPlan(
+        bursts=(BurstSpec(_START_S, _END_S, multiplier=1.8),),
+        degradation=DegradationPolicy(shed_queue_depth=12),
+        name="burst")
+
+
+def brownout() -> FaultPlan:
+    """Thermal throttling: every core capped at 1.6 GHz.  No degradation
+    can buy frequency back, so this is a pure stress scenario."""
+    return FaultPlan(
+        throttles=(ThrottleSpec(_START_S, _END_S, ceiling_ghz=1.6),),
+        name="brownout")
+
+
+def sticky_pstate() -> FaultPlan:
+    """Flaky DVFS: 30% of P-state writes are silently dropped, pinning
+    cores at stale frequencies; bounded retry re-applies the target."""
+    return FaultPlan(
+        msr_faults=(MsrFaultSpec(_START_S, _END_S, mode="stuck",
+                                 probability=0.3),),
+        degradation=DegradationPolicy(msr_retry_limit=3,
+                                      retry_backoff_s=0.002),
+        name="sticky-pstate")
+
+
+def dying_core() -> FaultPlan:
+    """Worker 0's core freezes mid-run and never recovers.  The watchdog
+    quarantines it and migrates its queue; panic mode pins survivors to
+    the maximum frequency while the miss rate is elevated; shedding keeps
+    the survivors' queues bounded, since they now absorb the dead
+    worker's share of the arrivals on top of their own."""
+    return FaultPlan(
+        stalls=(StallSpec(at_s=_START_S, duration_s=None, workers=(0,)),),
+        degradation=DegradationPolicy(
+            watchdog_interval_s=0.025,
+            watchdog_stall_threshold_s=0.05,
+            shed_queue_depth=12,
+            panic_enter_miss_rate=0.2,
+            panic_exit_miss_rate=0.02,
+            panic_window=50),
+        name="dying-core")
+
+
+#: name -> plan factory.  Factories (not instances) so callers can never
+#: mutate the library's plans (FaultPlan is frozen, but its tuples are
+#: rebuilt fresh per call anyway).
+SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
+    "burst": burst,
+    "brownout": brownout,
+    "sticky-pstate": sticky_pstate,
+    "dying-core": dying_core,
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_named(spec: str) -> FaultPlan:
+    """Resolve ``"burst"`` or a ``+``-composition like
+    ``"burst+brownout"`` into one merged plan."""
+    parts = [part.strip() for part in spec.split("+") if part.strip()]
+    if not parts:
+        raise ValueError(f"empty fault-scenario spec {spec!r}")
+    plans = []
+    for part in parts:
+        factory = SCENARIOS.get(part)
+        if factory is None:
+            raise ValueError(
+                f"unknown fault scenario {part!r}; known scenarios: "
+                f"{', '.join(scenario_names())}")
+        plans.append(factory())
+    merged = plans[0]
+    for plan in plans[1:]:
+        merged = merged.merged_with(plan)
+    return merged
+
+
+__all__ = ["SCENARIOS", "brownout", "burst", "dying_core",
+           "scenario_named", "scenario_names", "sticky_pstate"]

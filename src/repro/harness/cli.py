@@ -24,6 +24,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from repro.faults.plan import resolve_fault_plan
 from repro.harness import figures
 from repro.harness.parallel import SweepCache, resolve_jobs
 from repro.harness.profiling import TimingReport, append_trajectory
@@ -40,6 +41,7 @@ COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "theory": lambda o: figures.theory_competitive(),
     "overhead": lambda o: figures.polaris_overhead(),
     "extension": lambda o: figures.extension_worker_parking(o),
+    "resilience": lambda o: figures.resilience_figure(o),
 }
 
 
@@ -67,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "at ui.perfetto.dev) and metric-series CSV "
                              "per cell into DIR; traced cells always "
                              "re-run (never served from the cache)")
+    parser.add_argument("--faults", metavar="SCENARIO", default=None,
+                        help="run every cell under a repro.faults scenario "
+                             "('burst', 'brownout', 'sticky-pstate', "
+                             "'dying-core', '+'-compositions like "
+                             "'burst+brownout', or a plan JSON path); the "
+                             "'resilience' figure supplies its own "
+                             "scenario axis and ignores this")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear-cache", action="store_true",
@@ -95,6 +104,14 @@ def main(argv=None) -> int:
     options.jobs = args.jobs
     options.use_cache = not args.no_cache
     options.trace_dir = args.trace
+    if args.faults is not None:
+        # Resolve eagerly so a typo'd scenario name or unreadable plan
+        # file is a clean usage error, not a mid-sweep traceback.
+        try:
+            resolve_fault_plan(args.faults)
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
+    options.faults = args.faults
 
     if args.clear_cache:
         removed = SweepCache().clear()

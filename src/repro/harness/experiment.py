@@ -31,6 +31,9 @@ from repro.core.estimator import ExecutionTimeEstimator
 from repro.core.request import Request
 from repro.core.workload import Workload, WorkloadManager
 from repro.db.server import DatabaseServer, ServerConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultsLike, resolve_fault_plan
+from repro.faults.resilience import ResilienceController
 from repro.governors.base import GovernorSet
 from repro.harness.profiling import perf_clock
 from repro.harness.schemes import scheme_named
@@ -142,6 +145,12 @@ class ExperimentConfig:
     trace_series_path: Optional[str] = None
     #: Metrics sampling cadence on the virtual clock (seconds).
     trace_sample_interval_s: float = 0.25
+    #: repro.faults: ``None`` defers to ``REPRO_FAULTS``; a
+    #: :class:`~repro.faults.plan.FaultPlan`, scenario name (e.g.
+    #: ``"burst+brownout"``), or JSON plan path forces one for this
+    #: cell.  An empty plan is inert, so ``faults=None`` with no env is
+    #: bit-identical to a run without the faults subsystem.
+    faults: FaultsLike = None
 
 
 @dataclass
@@ -173,6 +182,12 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     #: Trace events recorded (0 when tracing is off); seed-deterministic.
     trace_events: int = 0
+    #: repro.faults: injected fault firings, degradation-action counts
+    #: (retry/migration/shed/panic...), and requests stranded at end of
+    #: run.  All zero/empty on healthy runs; seed-deterministic.
+    faults_injected: int = 0
+    degradation_actions: Dict[str, int] = field(default_factory=dict)
+    lost: int = 0
 
     def summary(self) -> str:
         return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
@@ -237,6 +252,10 @@ def run_experiment(config: ExperimentConfig,
     scheme = scheme_named(config.scheme)
     spec = BENCHMARKS[config.benchmark]()
     streams = RandomStreams(config.seed)
+    # repro.faults: resolve the plan up front (config > REPRO_FAULTS >
+    # none).  Everything fault-related below is gated on `plan is not
+    # None`, so a healthy run touches no fault code path at all.
+    plan = resolve_fault_plan(config.faults)
     if tracer is None:
         want_trace = config.trace
         if want_trace is None and (config.trace_path
@@ -245,6 +264,10 @@ def run_experiment(config: ExperimentConfig,
         tracer = Tracer() if trace_enabled(want_trace) else NULL_TRACER
     sim = Simulator(tracer=tracer)
     manager = _build_workloads(config, spec)
+    injector: Optional[FaultInjector] = None
+    resilience: Optional[ResilienceController] = None
+    if plan is not None:
+        injector = FaultInjector(sim, plan, streams.get("faults"))
 
     server_config = ServerConfig(
         workers=config.workers,
@@ -256,6 +279,11 @@ def run_experiment(config: ExperimentConfig,
 
     estimator = ExecutionTimeEstimator(config.estimator_window,
                                        config.estimator_percentile)
+    if injector is not None:
+        # Misprediction skew wraps the estimator *before* the scheduler
+        # factory captures it, so every scheduler sees skewed estimates
+        # while observations still feed the real windows.
+        estimator = injector.wrap_estimator(estimator)
     if scheme.uses_scheduler:
         base_factory = scheme.make_scheduler_factory(
             server_config.scheduler_frequencies, estimator)
@@ -282,6 +310,13 @@ def run_experiment(config: ExperimentConfig,
         governors = GovernorSet(scheme.governor_factory)
         governors.attach_all(server.cores, sim)
 
+    if injector is not None:
+        assert plan is not None
+        if plan.degradation.any_enabled:
+            resilience = ResilienceController(sim, server, plan.degradation)
+            resilience.attach()
+        injector.attach(server)
+
     # ------------------------------------------------------------------
     # Offered load
     # ------------------------------------------------------------------
@@ -296,6 +331,9 @@ def run_experiment(config: ExperimentConfig,
         schedule = None
         target = effective_load_fraction(config.load_fraction) * peak
         rate_fn = lambda _now: target  # noqa: E731 - tiny adapter
+
+    if injector is not None:
+        rate_fn = injector.wrap_rate(rate_fn)
 
     service_rng = streams.get("service-times")
     tier_rng = streams.get("tier-assignment")
@@ -387,6 +425,20 @@ def run_experiment(config: ExperimentConfig,
         if not sim.step():
             break
     meter.stop()
+    if plan is not None:
+        # Requests stranded when a faulted run ends --- still queued (an
+        # undrainable dead core) or frozen mid-execution on a stalled
+        # core --- count as offered-and-missed, so killing a core cannot
+        # censor its casualties into a better failure rate.
+        for worker in server.workers:
+            queue = getattr(worker.dispatcher, "queue", None)
+            if queue is not None:
+                for request in queue:
+                    recorder.on_lost(request)
+            if worker.current is not None and worker.core.stalled:
+                recorder.on_lost(worker.current)
+        if sim.sanitize:
+            server.sanitize_accounting()
 
     trace_event_count = 0
     if tracer.enabled:
@@ -447,4 +499,9 @@ def run_experiment(config: ExperimentConfig,
         sim_events=sim.events_processed,
         wall_seconds=perf_clock() - wall_start,
         trace_events=trace_event_count,
+        faults_injected=injector.total_injected if injector is not None else 0,
+        degradation_actions=(
+            {k: v for k, v in resilience.actions.items() if v}
+            if resilience is not None else {}),
+        lost=recorder.total_lost,
     )

@@ -20,6 +20,7 @@ from repro.core.estimator import ExecutionTimeEstimator
 from repro.core.polaris import PolarisScheduler
 from repro.core.request import Request
 from repro.core.workload import Workload
+from repro.faults.plan import FaultsLike
 from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.parallel import SweepRunner
 from repro.harness.profiling import perf_clock
@@ -62,6 +63,9 @@ class FigureOptions:
     #: Perfetto trace + metric-series CSV under this directory, named
     #: by a slug of the cell's distinguishing fields.
     trace_dir: Optional[str] = None
+    #: repro.faults: scenario name / plan applied to every cell (CLI
+    #: ``--faults``), so any figure can be re-run under chaos.
+    faults: FaultsLike = None
 
     @classmethod
     def from_env(cls) -> "FigureOptions":
@@ -81,6 +85,7 @@ class FigureOptions:
             warmup_seconds=self.warmup_seconds,
             test_seconds=self.test_seconds,
             seed=self.seed,
+            faults=self.faults,
         )
         for key, value in overrides.items():
             setattr(config, key, value)
@@ -118,6 +123,9 @@ def _cell_slug(config: ExperimentConfig) -> str:
         parts.append(config.cstate_ladder)
     if config.workload_policy != "per-type":
         parts.append(config.workload_policy)
+    if config.faults is not None:
+        parts.append(
+            f"faults_{getattr(config.faults, 'name', config.faults)}")
     return "-".join(str(p).replace("/", "_") for p in parts)
 
 
@@ -481,6 +489,92 @@ def extension_worker_parking(options: Optional[FigureOptions] = None
         cells[(routing, ladder)] = (result.avg_power_watts,
                                     result.failure_rate)
     return ParkingResult(cells)
+
+
+# ----------------------------------------------------------------------
+# Resilience: fault scenarios x schemes (repro.faults)
+# ----------------------------------------------------------------------
+#: Scenario columns of the resilience figure ("none" is the healthy
+#: reference cell; the rest are the repro.faults scenario library).
+RESILIENCE_SCENARIOS = ("none", "burst", "brownout", "sticky-pstate",
+                        "dying-core")
+
+#: Schemes compared under chaos: POLARIS (with the degradation policies
+#: each scenario arms), the reactive governor, and the paper's static
+#: baseline.
+RESILIENCE_SCHEMES = ("polaris", "ondemand", "static-2.8")
+
+
+@dataclass
+class ResilienceResult:
+    """Failure rate and power per (scheme, fault scenario) cell."""
+
+    title: str
+    scenarios: Tuple[str, ...]
+    #: scheme label -> [(power, failure), ...] aligned with ``scenarios``.
+    series: Dict[str, List[Tuple[float, float]]]
+    #: (scheme label, scenario) -> non-zero degradation action counts.
+    actions: Dict[Tuple[str, str], Dict[str, int]]
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def failure(self, label: str) -> List[float]:
+        return [f for _, f in self.series[label]]
+
+    def power(self, label: str) -> List[float]:
+        return [p for p, _ in self.series[label]]
+
+    def render(self) -> str:
+        out = [self.title, ""]
+        out.append(format_table(
+            ["scheme"] + list(self.scenarios),
+            [[label] + [f"{p:.1f}W/{f:.3f}" for p, f in points]
+             for label, points in self.series.items()],
+            title="avg power (W) / failure rate vs fault scenario"))
+        action_rows = [
+            [label, scenario,
+             " ".join(f"{k}={v}" for k, v in sorted(counts.items()))]
+            for (label, scenario), counts in self.actions.items() if counts]
+        if action_rows:
+            out.append("")
+            out.append(format_table(
+                ["scheme", "scenario", "degradation actions"], action_rows,
+                title="graceful-degradation activity"))
+        return "\n".join(out)
+
+
+def resilience_figure(options: Optional[FigureOptions] = None
+                      ) -> ResilienceResult:
+    """The chaos matrix: every scenario against every scheme.
+
+    TPC-C at medium load with the default slack; the ``none`` column is
+    the healthy run the scenarios degrade from.  POLARIS cells exercise
+    the scenario-armed degradation policies (shedding, DVFS retry,
+    watchdog migration, panic mode); the governor/static cells show what
+    the same faults do without a deadline-aware scheduler.
+    """
+    options = options or FigureOptions.from_env()
+    grid = [options.base_config(
+                benchmark="tpcc", scheme=scheme, load_fraction=0.6,
+                slack=40.0,
+                faults=None if scenario == "none" else scenario)
+            for scheme in RESILIENCE_SCHEMES
+            for scenario in RESILIENCE_SCENARIOS]
+    results = options.run_cells(grid)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    actions: Dict[Tuple[str, str], Dict[str, int]] = {}
+    cursor = iter(results)
+    for _scheme in RESILIENCE_SCHEMES:
+        points: List[Tuple[float, float]] = []
+        label = _scheme
+        for scenario in RESILIENCE_SCENARIOS:
+            result = next(cursor)
+            label = result.scheme_label
+            points.append((result.avg_power_watts, result.failure_rate))
+            actions[(label, scenario)] = dict(result.degradation_actions)
+        series[label] = points
+    return ResilienceResult(
+        "Resilience: fault scenarios x schemes (TPC-C medium load)",
+        tuple(RESILIENCE_SCENARIOS), series, actions, results)
 
 
 # ----------------------------------------------------------------------

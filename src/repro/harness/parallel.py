@@ -44,6 +44,7 @@ from typing import Callable, List, Optional, Sequence
 
 import repro
 from repro.analysis.sanitizer import simsan_enabled
+from repro.faults.plan import plan_fingerprint
 from repro.obs.trace import trace_enabled
 from repro.harness.experiment import (
     ExperimentConfig, ExperimentResult, run_experiment,
@@ -56,7 +57,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump to invalidate every cache entry without touching source files
 #: (e.g. when the pickle layout of ExperimentResult changes).
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 _code_salt_memo: Optional[str] = None
 
@@ -111,6 +112,11 @@ def config_key(config: ExperimentConfig, salt: Optional[str] = None) -> str:
         # Traced runs carry extra diagnostics (trace_events) in their
         # results; same disjointness argument as simsan.
         "trace": trace_enabled(),
+        # The *resolved* fault plan (config > REPRO_FAULTS > none):
+        # asdict above already covers explicit config.faults values, but
+        # an env-injected plan would otherwise alias the healthy run's
+        # cache entry.
+        "faults": plan_fingerprint(config.faults),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -74,6 +74,7 @@ class LatencyRecorder:
         self.total_completed = 0
         self.total_missed = 0
         self.total_rejected = 0
+        self.total_lost = 0
 
     # ------------------------------------------------------------------
     def set_window(self, start: float, end: float) -> None:
@@ -100,6 +101,21 @@ class LatencyRecorder:
         self.total_offered += 1
         self.total_missed += 1
         self.total_rejected += 1
+
+    def on_lost(self, request: Request) -> None:
+        """Count a request that will never finish --- stranded on a dead
+        core or in an undrainable queue when a faulted run ends.  Like a
+        rejection it is offered-and-missed, so dying-core scenarios
+        cannot censor their casualties into a *better* failure rate."""
+        if not self._in_scope(request):
+            return
+        stats = self.per_workload.setdefault(request.workload.name,
+                                             WorkloadStats())
+        stats.offered += 1
+        stats.missed += 1
+        self.total_offered += 1
+        self.total_missed += 1
+        self.total_lost += 1
 
     def on_completion(self, request: Request) -> None:
         if not self._in_scope(request):

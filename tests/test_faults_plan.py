@@ -1,0 +1,191 @@
+"""Fault plans: validation, serialization, merging, enable contract."""
+
+import pytest
+
+from repro.faults.plan import (
+    FAULTS_ENV, BurstSpec, DegradationPolicy, FaultPlan, MsrFaultSpec,
+    SkewSpec, StallSpec, ThrottleSpec, plan_fingerprint, resolve_fault_plan,
+)
+from repro.faults.scenarios import SCENARIOS, scenario_named, scenario_names
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_windows_must_be_nonnegative_and_nonempty():
+    with pytest.raises(ValueError):
+        ThrottleSpec(-0.1, 1.0)
+    with pytest.raises(ValueError):
+        BurstSpec(1.0, 1.0)
+    with pytest.raises(ValueError):
+        SkewSpec(2.0, 1.0)
+
+
+def test_msr_spec_validation():
+    with pytest.raises(ValueError):
+        MsrFaultSpec(0.0, 1.0, mode="explode")
+    with pytest.raises(ValueError):
+        MsrFaultSpec(0.0, 1.0, probability=0.0)
+    with pytest.raises(ValueError):
+        MsrFaultSpec(0.0, 1.0, probability=1.5)
+    MsrFaultSpec(0.0, 1.0, mode="stuck", probability=1.0)  # ok
+
+
+def test_stall_spec_validation():
+    with pytest.raises(ValueError):
+        StallSpec(at_s=-1.0)
+    with pytest.raises(ValueError):
+        StallSpec(at_s=0.5, duration_s=0.0)
+    StallSpec(at_s=0.5, duration_s=None)  # permanent is fine
+
+
+def test_throttle_and_skew_magnitudes():
+    with pytest.raises(ValueError):
+        ThrottleSpec(0.0, 1.0, ceiling_ghz=0.0)
+    with pytest.raises(ValueError):
+        SkewSpec(0.0, 1.0, factor=0.0)
+    with pytest.raises(ValueError):
+        BurstSpec(0.0, 1.0, multiplier=-2.0)
+
+
+def test_degradation_policy_validation():
+    with pytest.raises(ValueError):
+        DegradationPolicy(msr_retry_limit=-1)
+    with pytest.raises(ValueError):
+        DegradationPolicy(retry_backoff_s=0.0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(watchdog_interval_s=0.0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(shed_queue_depth=0)
+    with pytest.raises(ValueError):
+        # Hysteresis: exit rate must sit strictly below the enter rate.
+        DegradationPolicy(panic_enter_miss_rate=0.1,
+                          panic_exit_miss_rate=0.1)
+    with pytest.raises(ValueError):
+        DegradationPolicy(panic_window=0)
+
+
+def test_default_policy_is_inert():
+    assert not DegradationPolicy().any_enabled
+    assert FaultPlan().is_empty
+    assert DegradationPolicy(shed_queue_depth=4).any_enabled
+    assert not FaultPlan(degradation=DegradationPolicy()).degradation \
+        .any_enabled
+
+
+# ----------------------------------------------------------------------
+# Serialization and fingerprints
+# ----------------------------------------------------------------------
+def _sample_plan() -> FaultPlan:
+    return FaultPlan(
+        msr_faults=(MsrFaultSpec(0.1, 2.0, mode="stuck", workers=(1,),
+                                 probability=0.5),),
+        throttles=(ThrottleSpec(0.2, 1.0, ceiling_ghz=1.6, workers=(0, 2)),),
+        stalls=(StallSpec(0.3, duration_s=0.1, workers=(1,)),),
+        bursts=(BurstSpec(0.4, 0.9, multiplier=2.5),),
+        skews=(SkewSpec(0.5, 0.8, factor=0.7),),
+        degradation=DegradationPolicy(msr_retry_limit=2,
+                                      shed_queue_depth=8,
+                                      panic_enter_miss_rate=0.3),
+        name="kitchen-sink")
+
+
+def test_json_roundtrip_preserves_plan():
+    plan = _sample_plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_roundtrip_restores_tuples():
+    plan = FaultPlan.from_json(_sample_plan().to_json())
+    assert isinstance(plan.msr_faults[0].workers, tuple)
+    assert isinstance(plan.throttles, tuple)
+
+
+def test_fingerprint_stable_and_content_sensitive():
+    plan = _sample_plan()
+    assert plan.fingerprint() == _sample_plan().fingerprint()
+    other = FaultPlan(bursts=(BurstSpec(0.4, 0.9, multiplier=2.5),))
+    assert plan.fingerprint() != other.fingerprint()
+    # The fingerprint survives a serialization round trip.
+    assert FaultPlan.from_json(plan.to_json()).fingerprint() \
+        == plan.fingerprint()
+
+
+def test_without_degradation_keeps_faults_disarms_policy():
+    bare = _sample_plan().without_degradation()
+    assert bare.msr_faults == _sample_plan().msr_faults
+    assert not bare.degradation.any_enabled
+    assert bare.name == "kitchen-sink-bare"
+
+
+def test_merged_with_unions_faults():
+    merged = scenario_named("burst").merged_with(scenario_named("brownout"))
+    assert len(merged.bursts) == 1
+    assert len(merged.throttles) == 1
+    assert merged.name == "burst+brownout"
+
+
+def test_merged_with_right_side_wins_armed_knobs():
+    left = FaultPlan(degradation=DegradationPolicy(shed_queue_depth=4,
+                                                   msr_retry_limit=1))
+    right = FaultPlan(degradation=DegradationPolicy(shed_queue_depth=9))
+    merged = left.merged_with(right).degradation
+    assert merged.shed_queue_depth == 9       # right arms it -> right wins
+    assert merged.msr_retry_limit == 1        # right leaves it off -> left
+
+
+# ----------------------------------------------------------------------
+# Enable contract (config > env > off)
+# ----------------------------------------------------------------------
+def test_resolve_off_by_default(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    assert resolve_fault_plan(None) is None
+    assert plan_fingerprint(None) is None
+
+
+def test_resolve_env_scenario(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "burst")
+    plan = resolve_fault_plan(None)
+    assert plan is not None and plan.name == "burst"
+    assert plan_fingerprint(None) == plan.fingerprint()
+
+
+def test_explicit_plan_overrides_env(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "burst")
+    plan = resolve_fault_plan(scenario_named("brownout"))
+    assert plan is not None and plan.name == "brownout"
+
+
+def test_empty_plan_resolves_to_none(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "burst")
+    # An explicit empty plan is inert --- not a fall-through to the env.
+    assert resolve_fault_plan(FaultPlan()) is None
+
+
+def test_resolve_scenario_by_name_and_composition(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    assert resolve_fault_plan("dying-core").name == "dying-core"
+    composed = resolve_fault_plan("burst+brownout")
+    assert composed.bursts and composed.throttles
+
+
+def test_resolve_json_path(tmp_path, monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    path = tmp_path / "plan.json"
+    path.write_text(_sample_plan().to_json(), encoding="utf-8")
+    assert resolve_fault_plan(str(path)) == _sample_plan()
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown fault scenario"):
+        scenario_named("meteor-strike")
+    with pytest.raises(ValueError):
+        scenario_named("  +  ")
+
+
+def test_scenario_library_contents():
+    assert set(scenario_names()) == set(SCENARIOS)
+    for name in scenario_names():
+        plan = scenario_named(name)
+        assert plan.name == name
+        assert not plan.is_empty

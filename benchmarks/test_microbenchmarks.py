@@ -306,3 +306,84 @@ def test_bench_edf_queue_churn(benchmark):
         return popped
 
     assert benchmark(run) == 1000
+
+
+class _PopZeroEdfQueue:
+    """The pre-head-pointer EdfQueue (two sorted lists, ``pop(0)``),
+    kept as the comparison baseline for the bench below."""
+
+    def __init__(self):
+        import bisect
+        self._bisect = bisect
+        self._keys = []
+        self._items = []
+
+    def push(self, request):
+        key = (request.deadline, request.request_id)
+        idx = self._bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._items.insert(idx, request)
+
+    def pop(self):
+        if not self._items:
+            return None
+        self._keys.pop(0)
+        return self._items.pop(0)
+
+
+def test_bench_edf_pop_headpointer_vs_popzero(benchmark):
+    """The head-pointer pop is amortized O(1) where ``pop(0)`` memmoves
+    the whole backing list; at deep-backlog churn (the overload regimes
+    of Figures 7/9, where EDF queues grow into the thousands) the win is
+    asymptotic.  Recorded to the bench trajectory (``BENCH_harness.json``)
+    so the gap is tracked PR-over-PR."""
+    from repro.db.queues import EdfQueue
+    from repro.harness.profiling import (
+        TimingReport, append_trajectory, load_trajectory, perf_clock,
+    )
+
+    workload = Workload("w", 0.05)
+    depth = 16000
+    # Arrival-ordered requests of one workload class: deadlines are
+    # monotone, so every push is an append and the queue's cost is all
+    # in pop --- the server's actual backlog pattern, and exactly where
+    # ``pop(0)`` degenerates.
+    requests = [Request(workload, "w", float(i), 1.0)
+                for i in range(depth)]
+
+    def churn(factory):
+        queue = factory()
+        for request in requests:
+            queue.push(request)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        return popped
+
+    def best_of(factory, repeats=3):
+        churn(factory)  # warm
+        best = float("inf")
+        for _ in range(repeats):
+            start = perf_clock()
+            churn(factory)
+            best = min(best, perf_clock() - start)
+        return best
+
+    assert churn(EdfQueue) == churn(_PopZeroEdfQueue) == depth
+
+    fast = best_of(EdfQueue)
+    slow = best_of(_PopZeroEdfQueue)
+    assert benchmark(churn, EdfQueue) == depth
+    # At depth 16000 the pop(0) memmoves dominate; the head-pointer
+    # variant wins by multiples.  Require a clear margin, not parity.
+    assert fast < slow * 0.5, (
+        f"head-pointer {fast:.4f}s vs pop(0) {slow:.4f}s")
+
+    report = TimingReport(name="edf-pop-headpointer", jobs=1)
+    report.phases["headpointer"] = fast
+    report.phases["popzero"] = slow
+    report.phases["speedup"] = slow / fast
+    append_trajectory(report)
+    recorded = load_trajectory()
+    assert recorded[-1]["name"] == "edf-pop-headpointer"
+    assert recorded[-1]["phases"]["speedup"] > 1.0

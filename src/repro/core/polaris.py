@@ -23,6 +23,18 @@ The walk keeps one running sum per frequency, so one invocation costs
 O(|Q| * |F|) --- the prototype measures ~10 us per invocation at high
 load, one to two orders of magnitude below mean transaction times
 (Section 5); the overhead bench reproduces the scaling.
+
+**Shared frequency domains.**  ``select_frequency`` assumes per-core
+DVFS, as the paper does.  On coarse topologies
+(:class:`~repro.cpu.topology.SocketTopology` at per-module/per-socket
+granularity) the selected frequency becomes this core's *vote*: the
+worker's PERF_CTL write lands in the core's
+:class:`~repro.cpu.topology.FrequencyDomain`, which applies the maximum
+of the member votes (the kernel's cpufreq policy-sharing rule) to every
+member core.  POLARIS's deadline guarantees survive --- a domain never
+runs a core *below* what its scheduler asked for --- but its power
+savings erode, since one urgent transaction raises the whole domain;
+the harness's granularity figure quantifies exactly that cost.
 """
 
 from __future__ import annotations

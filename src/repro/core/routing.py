@@ -20,34 +20,62 @@ This module implements that direction:
 Policies see only queue lengths and busy flags --- information the
 request handlers have --- so they remain workload-agnostic like the
 rest of the routing layer.
+
+When the resilience watchdog has quarantined workers, the server passes
+the surviving indices as ``eligible``; policies choose among those only,
+so packing does not keep targeting a dead prefix worker and round-robin
+does not burn pointer positions on workers that cannot take work.  With
+``eligible=None`` (or an empty selection) every worker is a candidate.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 class RoutingPolicy:
-    """Chooses the worker index for each incoming request."""
+    """Chooses the worker index for each incoming request.
+
+    ``eligible`` is an ordered sequence of candidate worker indices
+    (``None`` means all).  The returned index is always drawn from the
+    candidates.
+    """
 
     name = "routing"
 
-    def choose_worker(self, workers: Sequence, request, now: float) -> int:
+    def choose_worker(self, workers: Sequence, request, now: float,
+                      eligible: Optional[Sequence[int]] = None) -> int:
         raise NotImplementedError
+
+    @staticmethod
+    def _candidates(workers: Sequence,
+                    eligible: Optional[Sequence[int]]) -> Sequence[int]:
+        if eligible:
+            return eligible
+        return range(len(workers))
 
 
 class RoundRobinRouting(RoutingPolicy):
-    """The paper's round-robin distribution (single rotating pointer)."""
+    """The paper's round-robin distribution (single rotating pointer).
+
+    The pointer counts *dispatches*, not raw worker slots: under
+    quarantine it rotates through the eligible workers only, so a dead
+    worker neither receives requests nor skews the rotation (skipping a
+    slot would otherwise double-load whichever worker follows the dead
+    one).
+    """
 
     name = "round-robin"
 
     def __init__(self):
         self._next = 0
 
-    def choose_worker(self, workers: Sequence, request, now: float) -> int:
-        index = self._next % len(workers)
-        self._next = index + 1
-        return index
+    def choose_worker(self, workers: Sequence, request, now: float,
+                      eligible: Optional[Sequence[int]] = None) -> int:
+        candidates = self._candidates(workers, eligible)
+        slot = self._next % len(candidates)
+        self._next = slot + 1
+        return candidates[slot]
 
 
 class LeastLoadedRouting(RoutingPolicy):
@@ -60,10 +88,13 @@ class LeastLoadedRouting(RoutingPolicy):
 
     name = "least-loaded"
 
-    def choose_worker(self, workers: Sequence, request, now: float) -> int:
-        best_index = 0
+    def choose_worker(self, workers: Sequence, request, now: float,
+                      eligible: Optional[Sequence[int]] = None) -> int:
+        candidates = self._candidates(workers, eligible)
+        best_index = candidates[0]
         best_key = None
-        for index, worker in enumerate(workers):
+        for index in candidates:
+            worker = workers[index]
             key = (0 if worker.idle else 1, worker.queue_length(), index)
             if best_key is None or key < best_key:
                 best_key = key
@@ -92,10 +123,13 @@ class PackingRouting(RoutingPolicy):
             raise ValueError("max_backlog must be at least 1")
         self.max_backlog = max_backlog
 
-    def choose_worker(self, workers: Sequence, request, now: float) -> int:
-        fallback_index = 0
+    def choose_worker(self, workers: Sequence, request, now: float,
+                      eligible: Optional[Sequence[int]] = None) -> int:
+        candidates = self._candidates(workers, eligible)
+        fallback_index = candidates[0]
         fallback_backlog = None
-        for index, worker in enumerate(workers):
+        for index in candidates:
+            worker = workers[index]
             backlog = worker.queue_length() + (0 if worker.idle else 1)
             if backlog < self.max_backlog:
                 return index

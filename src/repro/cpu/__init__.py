@@ -21,6 +21,7 @@ from repro.cpu.cstates import CState, CStateModel
 from repro.cpu.core import Core, Job
 from repro.cpu.msr import MsrFile, MsrError, IA32_PERF_CTL, IA32_PERF_STATUS, MSR_PKG_ENERGY_STATUS, MSR_RAPL_POWER_UNIT
 from repro.cpu.rapl import RaplPackage
+from repro.cpu.topology import FrequencyDomain, SocketTopology, make_topology, GRANULARITIES
 
 __all__ = [
     "PState", "PStateTable", "XEON_E5_2640V3_PSTATES", "POLARIS_FREQUENCIES",
@@ -31,4 +32,5 @@ __all__ = [
     "IA32_PERF_CTL", "IA32_PERF_STATUS",
     "MSR_PKG_ENERGY_STATUS", "MSR_RAPL_POWER_UNIT",
     "RaplPackage",
+    "FrequencyDomain", "SocketTopology", "make_topology", "GRANULARITIES",
 ]

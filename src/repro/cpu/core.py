@@ -106,6 +106,12 @@ class Core:
             self.tracer.counter(self.trace_track, f"freq_ghz.core{core_id}",
                                 sim.now, freq_ghz=self.freq)
 
+        #: Shared frequency domain this core belongs to, set by
+        #: :class:`repro.cpu.topology.FrequencyDomain` at construction.
+        #: ``None`` (per-core granularity) means the core owns its
+        #: P-state register outright --- the pre-domain behavior.
+        self.domain = None
+
         # --- execution state ------------------------------------------
         self._job: Optional[Job] = None
         self._executed: float = 0.0          # giga-cycles done on _job
@@ -243,6 +249,24 @@ class Core:
         if self.sanitize:
             self.sanitize_check()
 
+    def request_frequency(self, freq_ghz: float) -> None:
+        """Ask for a P-state, honoring any shared frequency domain.
+
+        On a per-core topology (``domain is None``) this is exactly
+        :meth:`set_frequency`.  Under a shared domain the request is
+        filed as this core's *vote* and the domain applies the max of
+        member votes to every member --- so the core may end up at a
+        higher frequency than requested, or unchanged if a sibling's
+        vote already dominates.  All policy-level frequency choices
+        (schedulers, governors, resilience pins) go through here;
+        :meth:`set_frequency` remains the raw register write the domain
+        itself uses.
+        """
+        if self.domain is None:
+            self.set_frequency(freq_ghz)
+        else:
+            self.domain.request(self, freq_ghz)
+
     def achievable_frequency(self, freq_ghz: float) -> float:
         """What ``set_frequency(freq_ghz)`` would actually deliver.
 
@@ -255,6 +279,17 @@ class Core:
         if ceiling_ghz is None or freq_ghz <= ceiling_ghz + 1e-12:
             return freq_ghz
         return self.pstates.nearest_at_most(ceiling_ghz)
+
+    def projected_frequency(self, freq_ghz: float) -> float:
+        """What :meth:`request_frequency(freq_ghz)` would leave this
+        core running at --- the domain-aware analogue of
+        :meth:`achievable_frequency`.  DVFS-write verification compares
+        against this so a sibling's higher vote in a shared domain is
+        never mistaken for a failed write.
+        """
+        if self.domain is None:
+            return self.achievable_frequency(freq_ghz)
+        return self.domain.projected_frequency(self, freq_ghz)
 
     # ------------------------------------------------------------------
     # Degraded regimes (repro.faults)

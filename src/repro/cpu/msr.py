@@ -115,7 +115,11 @@ class MsrFile:
                         f"{self.core.core_id}")
                 if action == "stuck":
                     return  # write silently dropped; P-state unchanged
-            self.core.set_frequency(freq_ghz)
+            # One PERF_CTL per frequency domain: on shared-domain
+            # topologies this files the core's vote and the domain
+            # resolves max-of-votes across members; per-core it is a
+            # direct register write, exactly as before.
+            self.core.request_frequency(freq_ghz)
             self._scratch[address] = value
         else:
             raise MsrError(f"write to unsupported MSR {address:#x}")

@@ -33,6 +33,7 @@ from repro.cpu.msr import IA32_PERF_CTL, MsrError, MsrFile, encode_perf_ctl
 from repro.cpu.power import CorePowerModel, ServerPowerModel
 from repro.cpu.pstates import POLARIS_FREQUENCIES, PStateTable, XEON_E5_2640V3_PSTATES
 from repro.cpu.rapl import RaplPackage
+from repro.cpu.topology import FrequencyDomain, SocketTopology, make_topology
 from repro.db.queues import FifoQueue, RequestQueue
 from repro.db.storage.errors import Rollback
 from repro.sim.engine import Simulator
@@ -92,9 +93,18 @@ class ServerConfig:
     #: Idle ladder: "c1" (the paper's effective setting) or "deep"
     #: (C1/C3/C6 demotion, for the worker-parking extension).
     cstate_ladder: str = "c1"
+    #: Frequency-domain granularity: ``None``/"per-core" (independent
+    #: P-state registers, the paper's assumption and today's default),
+    #: "per-module"/"per-socket", or an explicit
+    #: :class:`~repro.cpu.topology.SocketTopology`.  Coarse domains
+    #: resolve member requests with the cpufreq max-of-votes rule.
+    topology: Optional[object] = None
 
     def grid(self) -> PStateTable:
         return self.pstate_grid or XEON_E5_2640V3_PSTATES
+
+    def make_topology(self) -> SocketTopology:
+        return make_topology(self.topology)
 
     def make_cstates(self) -> CStateModel:
         if self.cstate_ladder == "c1":
@@ -154,7 +164,13 @@ class Worker:
         if resilience is not None:
             # Any new decision supersedes an in-flight DVFS retry.
             resilience.cancel_retry(self)
-        if abs(freq_ghz - self.core.freq) <= 1e-12:
+        if self.core.domain is None \
+                and abs(freq_ghz - self.core.freq) <= 1e-12:
+            # Per-core only: "already there" means nothing to write.
+            # Under a shared domain the core may be riding a sibling's
+            # higher vote while its own recorded vote is stale, so a
+            # same-frequency decision must still be filed --- dropping
+            # it would pin the domain high after the sibling steps down.
             return
         try:
             self.msr.write(IA32_PERF_CTL, encode_perf_ctl(freq_ghz))
@@ -168,8 +184,10 @@ class Worker:
             return
         if self.server.faults_active and resilience is not None:
             # Verify the write took effect (a "stuck" fault drops it
-            # silently).  Throttle clamping is expected, not a failure.
-            expected_ghz = self.core.achievable_frequency(freq_ghz)
+            # silently).  Throttle clamping --- and, under a shared
+            # domain, a sibling's higher vote --- is expected, not a
+            # failure: compare against the domain-aware projection.
+            expected_ghz = self.core.projected_frequency(freq_ghz)
             if abs(self.core.freq - expected_ghz) > 1e-12:
                 resilience.on_msr_failure(self, freq_ghz)
 
@@ -383,13 +401,33 @@ class DatabaseServer:
             start_freq = core_table.min_freq
         else:
             start_freq = core_table.max_freq
+        self.topology: SocketTopology = config.make_topology()
+        if self.topology.per_core:
+            effective_latency = config.transition_latency
+        else:
+            # A shared-PLL re-lock stalls every member core; the slower
+            # of the configured DVFS latency and the domain switch
+            # latency governs each transition.
+            effective_latency = max(config.transition_latency,
+                                    self.topology.switch_latency_s)
         for worker_id in range(config.workers):
             core = Core(sim, worker_id, core_table,
                         power_model=self.power_model,
                         cstates=config.make_cstates(),
-                        transition_latency=config.transition_latency,
+                        transition_latency=effective_latency,
                         initial_freq=start_freq)
             self.cores.append(core)
+        #: Shared frequency domains (topology-aware worker -> core ->
+        #: domain mapping).  Empty on the per-core identity topology:
+        #: no domain objects exist at all, so every per-core code path
+        #: --- traces included --- is bit-identical to the pre-domain
+        #: behavior.
+        self.domains: List[FrequencyDomain] = []
+        if not self.topology.per_core:
+            for domain_id, group in enumerate(
+                    self.topology.domain_groups(config.workers)):
+                self.domains.append(FrequencyDomain(
+                    domain_id, [self.cores[i] for i in group]))
         # One RAPL package per 8 cores (two sockets on the testbed).
         self.packages: List[RaplPackage] = []
         for pkg_id in range(0, config.workers, 8):
@@ -436,8 +474,18 @@ class DatabaseServer:
         next worker in that RH's round-robin order.
         """
         if self._routing is not None:
+            # Routing policies see the eligible (non-quarantined) set
+            # directly, so packing's prefix and round-robin's pointer
+            # reason over live workers only.  If everything is
+            # quarantined the policy sees all workers (the request then
+            # queues on a dead one and is ultimately counted as lost,
+            # matching the rh-round-robin fall-through below).
+            eligible = None
+            if self.quarantined:
+                eligible = [index for index in range(self.config.workers)
+                            if index not in self.quarantined] or None
             worker_index = self._routing.choose_worker(
-                self.workers, request, self.sim.now)
+                self.workers, request, self.sim.now, eligible=eligible)
         else:
             rh = self._next_rh
             self._next_rh = (rh + 1) % self.config.request_handlers
@@ -445,16 +493,16 @@ class DatabaseServer:
             self._rh_pointers[rh] = \
                 (worker_index + self.config.request_handlers) \
                 % self.config.workers
-        if self.quarantined:
-            # Probe forward past dead workers; if every worker is
-            # quarantined, fall through to the original choice (the
-            # request then queues and is ultimately counted as lost).
-            base = worker_index
-            for offset in range(self.config.workers):
-                candidate = (base + offset) % self.config.workers
-                if candidate not in self.quarantined:
-                    worker_index = candidate
-                    break
+            if self.quarantined:
+                # Probe forward past dead workers; if every worker is
+                # quarantined, fall through to the original choice (the
+                # request then queues and is ultimately counted as lost).
+                base = worker_index
+                for offset in range(self.config.workers):
+                    candidate = (base + offset) % self.config.workers
+                    if candidate not in self.quarantined:
+                        worker_index = candidate
+                        break
         self.submitted += 1
         self.workers[worker_index].accept(request)
 

@@ -113,14 +113,14 @@ class FaultInjector:
                 worker.msr.fault_hook = partial(self._msr_fault,
                                                 worker.worker_id)
         for spec in self.plan.throttles:
-            for worker in self._affected(spec.workers):
+            for worker in self._domain_scope(self._affected(spec.workers)):
                 self.sim.schedule_at(
                     spec.start_s,
                     partial(self._throttle_begin, worker, spec))
                 self.sim.schedule_at(
                     spec.end_s, partial(self._throttle_end, worker, spec))
         for spec in self.plan.stalls:
-            for worker in self._affected(spec.workers):
+            for worker in self._domain_scope(self._affected(spec.workers)):
                 self.sim.schedule_at(spec.at_s,
                                      partial(self._stall_begin, worker))
                 if spec.duration_s is not None:
@@ -150,6 +150,32 @@ class FaultInjector:
         if not worker_ids:
             return list(workers)
         return [workers[i] for i in worker_ids if i < len(workers)]
+
+    def _domain_scope(self, affected: list) -> list:
+        """Widen physical faults to whole frequency domains.
+
+        Thermal throttles and core stalls act on silicon the targeted
+        core shares with its domain siblings (one voltage rail, one
+        clock), so on shared-domain topologies every member of a
+        targeted core's domain degrades together.  Per-core topologies
+        (``domain is None``) pass through unchanged --- the pre-domain
+        behavior.  Order is worker-id ascending, deduplicated, for
+        deterministic event scheduling.
+        """
+        workers = self._server.workers
+        if all(worker.core.domain is None for worker in affected):
+            # Identity topology: keep the caller's ordering exactly
+            # (event scheduling order is part of determinism).
+            return affected
+        selected_ids = set()
+        for worker in affected:
+            domain = worker.core.domain
+            if domain is None:
+                selected_ids.add(worker.worker_id)
+            else:
+                selected_ids.update(domain.member_ids())
+        return [workers[i] for i in sorted(selected_ids)
+                if i < len(workers)]
 
     # ------------------------------------------------------------------
     # DVFS write faults

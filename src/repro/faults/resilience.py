@@ -128,12 +128,14 @@ class ResilienceController:
 
     def _try_write(self, worker, freq_ghz: float) -> bool:
         """One write attempt; True iff the core landed on the target
-        (modulo throttle clamping, which is not a write failure)."""
+        (modulo throttle clamping --- and, on shared-domain topologies,
+        a sibling vote holding the domain higher --- neither of which is
+        a write failure)."""
         try:
             worker.msr.write(IA32_PERF_CTL, encode_perf_ctl(freq_ghz))
         except MsrError:
             return False
-        expected = worker.core.achievable_frequency(freq_ghz)
+        expected = worker.core.projected_frequency(freq_ghz)
         return abs(worker.core.freq - expected) < 1e-12
 
     # ------------------------------------------------------------------

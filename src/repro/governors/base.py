@@ -120,8 +120,16 @@ class DynamicGovernor(Governor):
                 utilization=round(utilization, 6),
                 target_ghz=target if target is not None else self.core.freq,
                 **self.trace_args())
-        if target is not None and abs(target - self.core.freq) > 1e-12:
-            self.core.set_frequency(target)
+        if target is not None:
+            if self.core.domain is not None:
+                # Shared frequency domain: always re-file the vote.  The
+                # core may be riding a sibling's higher vote, so "target
+                # equals current frequency" does not mean "nothing to
+                # say" --- skipping would leave a stale vote pinning the
+                # whole domain high after the sibling steps down.
+                self.core.request_frequency(target)
+            elif abs(target - self.core.freq) > 1e-12:
+                self.core.set_frequency(target)
         self._timer = self.sim.schedule(self.sampling_period_s, self._sample)
 
     def target_frequency(self, utilization: float) -> Optional[float]:

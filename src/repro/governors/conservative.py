@@ -62,12 +62,21 @@ class ConservativeGovernor(DynamicGovernor):
         step = self.freq_step_percent / 100.0 * table.max_freq
         load = utilization * 100.0
         if load > self.up_threshold:
+            # Raising: lowest grid frequency at or above the request,
+            # so the step is always honored in the safe direction.
             self._requested = min(self._requested + step, table.max_freq)
-        elif load < self.down_threshold:
+            return table.nearest_at_least(self._requested)
+        if load < self.down_threshold:
+            # Lowering: highest grid frequency at or below the request.
+            # Rounding a *decrease* upward would overstate the applied
+            # frequency by up to one P-state on coarse grids (the
+            # 5-level POLARIS table has 0.4 GHz gaps) and hold the core
+            # above what the governor decided --- on the paper's grid
+            # the old at-least rounding kept every down step pinned one
+            # level high until ``_requested`` crossed the next boundary.
             self._requested = max(self._requested - step, table.min_freq)
-        else:
-            return None
-        return table.nearest_at_least(self._requested)
+            return table.nearest_at_most(self._requested)
+        return None
 
     def trace_args(self) -> dict:
         return {"requested_ghz": self._requested}

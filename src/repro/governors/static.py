@@ -20,7 +20,7 @@ class PerformanceGovernor(Governor):
     def on_attach(self) -> None:
         assert self.core is not None
         self._trace_pin(self.core.pstates.max_freq)
-        self.core.set_frequency(self.core.pstates.max_freq)
+        self.core.request_frequency(self.core.pstates.max_freq)
 
 
 class PowersaveGovernor(Governor):
@@ -31,7 +31,7 @@ class PowersaveGovernor(Governor):
     def on_attach(self) -> None:
         assert self.core is not None
         self._trace_pin(self.core.pstates.min_freq)
-        self.core.set_frequency(self.core.pstates.min_freq)
+        self.core.request_frequency(self.core.pstates.min_freq)
 
 
 class UserspaceGovernor(Governor):
@@ -48,10 +48,10 @@ class UserspaceGovernor(Governor):
             raise ValueError(
                 f"{self.freq_ghz} GHz not on core's P-state grid")
         self._trace_pin(self.freq_ghz)
-        self.core.set_frequency(self.freq_ghz)
+        self.core.request_frequency(self.freq_ghz)
 
     def set_speed(self, freq_ghz: float) -> None:
         """Change the pinned frequency (the sysfs ``scaling_setspeed`` knob)."""
         self.freq_ghz = freq_ghz
         if self.core is not None:
-            self.core.set_frequency(freq_ghz)
+            self.core.request_frequency(freq_ghz)

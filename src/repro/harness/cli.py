@@ -42,6 +42,7 @@ COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "overhead": lambda o: figures.polaris_overhead(),
     "extension": lambda o: figures.extension_worker_parking(o),
     "resilience": lambda o: figures.resilience_figure(o),
+    "granularity": lambda o: figures.granularity_figure(o),
 }
 
 

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.estimator import ExecutionTimeEstimator
 from repro.core.request import Request
 from repro.core.workload import Workload, WorkloadManager
+from repro.cpu.topology import SocketTopology, make_topology
 from repro.db.server import DatabaseServer, ServerConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultsLike, resolve_fault_plan
@@ -135,6 +136,16 @@ class ExperimentConfig:
     routing: str = "rh-round-robin"
     #: Idle C-state ladder: "c1" (paper-effective) or "deep" (extension).
     cstate_ladder: str = "c1"
+    #: Frequency-domain granularity: "per-core" (independent P-state
+    #: registers, the paper's assumption and the default --- runs are
+    #: bit-identical to pre-domain builds), "per-module", or
+    #: "per-socket" (cpufreq max-of-votes coordination).  Part of the
+    #: sweep-cache key via ``asdict``, so cached per-core results are
+    #: never served for coarse-domain cells or vice versa.
+    topology: str = "per-core"
+    #: Domain P-state switch stall (seconds) on shared-domain
+    #: topologies; ignored at per-core granularity.
+    topology_switch_latency: float = 0.0
     #: repro.obs: ``None`` defers to ``REPRO_TRACE``; True/False force
     #: tracing on/off for this cell.  Setting either export path
     #: implies ``trace=True``.
@@ -269,12 +280,20 @@ def run_experiment(config: ExperimentConfig,
     if plan is not None:
         injector = FaultInjector(sim, plan, streams.get("faults"))
 
+    topology = make_topology(config.topology)
+    if not topology.per_core and config.topology_switch_latency > 0:
+        topology = SocketTopology(
+            granularity=topology.granularity,
+            cores_per_socket=topology.cores_per_socket,
+            cores_per_module=topology.cores_per_module,
+            switch_latency_s=config.topology_switch_latency)
     server_config = ServerConfig(
         workers=config.workers,
         request_handlers=config.request_handlers,
         transition_latency=config.transition_latency,
         routing=config.routing,
         cstate_ladder=config.cstate_ladder,
+        topology=topology,
     )
 
     estimator = ExecutionTimeEstimator(config.estimator_window,

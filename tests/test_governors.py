@@ -131,6 +131,41 @@ def test_conservative_dead_zone_holds_frequency(sim):
     assert core.freq == 2.8  # never left the starting frequency
 
 
+def test_conservative_down_steps_round_to_at_most():
+    """The down path resolves with highest-at-or-below: a decrease must
+    never be rounded back up past the request.  On the 0.1 GHz grid a
+    single 0.14 GHz step down from 2.8 lands on 2.6 (at-most of 2.66);
+    at-least rounding would report 2.8 --- no movement at all."""
+    sim = Simulator()
+    core = make_core(sim, freq=2.8)
+    governor = ConservativeGovernor(sampling_period_s=0.01)
+    governor.attach(core, sim)
+    assert governor.target_frequency(0.0) == 2.6
+    assert governor._requested == pytest.approx(2.8 - 0.14)
+    # And the applied frequency never exceeds the internal request on
+    # the way down.
+    while core.freq > 1.2:
+        target = governor.target_frequency(0.0)
+        assert target <= governor._requested + 1e-12
+        core.set_frequency(target)
+
+
+def test_conservative_descends_to_min_on_coarse_grid():
+    """Descent pin on the paper's 5-level grid (0.4 GHz gaps): every
+    idle sample must make downward progress on the applied frequency
+    within a few steps.  The old at-least rounding held the core a full
+    P-state above the request --- three idle samples from 2.8 left the
+    core still at 2.8 on this grid (requested 2.38, rounded up)."""
+    sim = Simulator()
+    grid = XEON_E5_2640V3_PSTATES.subset((1.2, 1.6, 2.0, 2.4, 2.8))
+    core = Core(sim, 0, grid, initial_freq=2.8)
+    ConservativeGovernor(sampling_period_s=0.01).attach(core, sim)
+    sim.run(until=0.035)  # three idle samples: requested 2.8 -> 2.38
+    assert core.freq == 2.0  # at-most of 2.38; at-least gave 2.4
+    sim.run(until=0.2)
+    assert core.freq == 1.2  # descent completes to the floor
+
+
 def test_conservative_threshold_validation():
     with pytest.raises(ValueError):
         ConservativeGovernor(up_threshold=10.0, down_threshold=20.0)

@@ -91,3 +91,101 @@ def test_property_fifo_preserves_arrival_sequence(arrivals):
     for request in requests:
         queue.push(request)
     assert [queue.pop() for _ in requests] == requests
+
+
+class NaiveEdfOracle:
+    """The pre-head-pointer EdfQueue: two parallel sorted lists with
+    ``pop(0)``.  Kept as the executable specification the optimized
+    queue is checked against."""
+
+    def __init__(self):
+        self._keys = []
+        self._items = []
+
+    def push(self, request):
+        import bisect
+        key = (request.deadline, request.request_id)
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._items.insert(idx, request)
+
+    def pop(self):
+        if not self._items:
+            return None
+        self._keys.pop(0)
+        return self._items.pop(0)
+
+    def peek(self):
+        return self._items[0] if self._items else None
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("push"),
+                  st.floats(min_value=0, max_value=50, allow_nan=False),
+                  st.floats(min_value=0.01, max_value=50,
+                            allow_nan=False)),
+        st.tuples(st.just("pop"), st.just(0.0), st.just(0.0))),
+    min_size=1, max_size=200))
+def test_property_edf_equivalent_to_naive_oracle(ops):
+    """The head-pointer queue is operation-for-operation identical to
+    the naive two-list implementation under any interleaving of pushes
+    and pops: same pop results (identity, not just deadline), same
+    lengths, same peeks, same iteration order."""
+    fast, oracle = EdfQueue(), NaiveEdfOracle()
+    for op, arrival, target in ops:
+        if op == "push":
+            request = make_request(arrival, target)
+            fast.push(request)
+            oracle.push(request)
+        else:
+            assert fast.pop() is oracle.pop()
+        assert len(fast) == len(oracle)
+        assert fast.peek() is oracle.peek()
+        assert list(fast) == list(oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                min_size=1, max_size=30))
+def test_property_edf_is_fifo_among_equal_deadlines(arrivals):
+    """With one shared deadline EDF degenerates to FIFO: the
+    ``(deadline, request_id)`` key makes arrival order the tiebreak."""
+    queue = EdfQueue()
+    requests = []
+    for arrival in arrivals:
+        request = Request(Workload("w", 1000.0), "t", arrival, work=1.0)
+        request.deadline = 42.0
+        requests.append(request)
+        queue.push(request)
+    assert [queue.pop() for _ in requests] == requests
+
+
+def test_edf_head_pointer_compaction_crosses_threshold():
+    """Drive the queue far past the compaction threshold with live
+    entries still behind the head: order survives, lengths stay true,
+    and the backing array actually shrinks."""
+    queue = EdfQueue()
+    total = EdfQueue._COMPACT_MIN * 4
+    requests = [make_request(float(i), target=1000.0)
+                for i in range(total)]
+    for request in requests:
+        queue.push(request)
+    popped = [queue.pop() for _ in range(total - 5)]
+    assert popped == requests[:total - 5]
+    assert len(queue) == 5
+    # The dead prefix was reclaimed (without compaction the backing
+    # list would still hold all `total` slots).
+    assert len(queue._items) < total
+    urgent = make_request(0.0, target=0.0001)  # earliest deadline now
+    queue.push(urgent)
+    assert queue.pop() is urgent
+    assert [queue.pop() for _ in range(5)] == requests[total - 5:]
+    assert queue.pop() is None

@@ -85,6 +85,56 @@ def test_base_policy_abstract():
 
 
 # ----------------------------------------------------------------------
+# Eligible-worker sets (quarantine visibility)
+# ----------------------------------------------------------------------
+def test_round_robin_rotates_over_eligible_only():
+    """The pointer counts dispatches over the eligible set: worker 1
+    never appears, and the survivors each get every other request ---
+    a skipped dead slot must not double-load its successor."""
+    policy = RoundRobinRouting()
+    workers = [FakeWorker() for _ in range(3)]
+    picks = [policy.choose_worker(workers, None, 0.0, eligible=[0, 2])
+             for _ in range(6)]
+    assert picks == [0, 2, 0, 2, 0, 2]
+
+
+def test_round_robin_empty_eligible_means_all():
+    policy = RoundRobinRouting()
+    workers = [FakeWorker() for _ in range(3)]
+    picks = [policy.choose_worker(workers, None, 0.0, eligible=None)
+             for _ in range(4)]
+    assert picks == [0, 1, 2, 0]
+
+
+def test_least_loaded_ignores_ineligible_idle_worker():
+    """Worker 1 is idle (the tempting choice) but quarantined; the
+    policy must pick the best *eligible* worker instead."""
+    policy = LeastLoadedRouting()
+    workers = [FakeWorker(idle=False, queued=2),
+               FakeWorker(idle=True, queued=0),
+               FakeWorker(idle=False, queued=1)]
+    assert policy.choose_worker(workers, None, 0.0, eligible=[0, 2]) == 2
+
+
+def test_packing_prefix_skips_quarantined_worker():
+    """Packing's active prefix is the eligible order: with worker 0
+    dead, worker 1 becomes the pack target even though 0 has 'room'."""
+    policy = PackingRouting(max_backlog=2)
+    workers = [FakeWorker(idle=True, queued=0),
+               FakeWorker(idle=False, queued=0),
+               FakeWorker(idle=True, queued=0)]
+    assert policy.choose_worker(workers, None, 0.0, eligible=[1, 2]) == 1
+
+
+def test_packing_fallback_restricted_to_eligible():
+    policy = PackingRouting(max_backlog=1)
+    workers = [FakeWorker(idle=False, queued=1),   # dead, least backlog
+               FakeWorker(idle=False, queued=5),
+               FakeWorker(idle=False, queued=3)]
+    assert policy.choose_worker(workers, None, 0.0, eligible=[1, 2]) == 2
+
+
+# ----------------------------------------------------------------------
 # End-to-end through the server
 # ----------------------------------------------------------------------
 def test_server_packing_parks_workers(sim):
@@ -116,6 +166,66 @@ def test_server_least_loaded_spreads(sim):
     for i in range(4):
         server.submit(Request(workload, "t", sim.now, 28.0))
     assert [w.idle for w in server.workers] == [False] * 4
+
+
+def test_server_packing_reroutes_around_quarantined_prefix(sim):
+    """Dying-core x packing interplay: once the watchdog quarantines
+    worker 0, packing's active prefix starts at worker 1 --- the dead
+    worker receives nothing and the pack target is not chosen by the
+    old choose-then-probe fall-through (which skewed backlog checks by
+    consulting the dead worker's queue)."""
+    from repro.core.request import Request
+    from repro.core.workload import Workload
+    from repro.db.server import DatabaseServer, ServerConfig
+
+    server = DatabaseServer(sim, ServerConfig(workers=4, routing="packing"))
+    server.quarantined.add(0)
+    workload = Workload("w", 1.0)
+    for i in range(8):
+        sim.schedule_at(i * 2e-3, lambda: server.submit(
+            Request(workload, "t", sim.now, 2.8e-3)))
+    sim.run()
+    completions = [w.completed for w in server.workers]
+    assert completions == [0, 8, 0, 0]
+
+
+def test_server_round_robin_spreads_evenly_past_quarantine(sim):
+    """Dying-core x round-robin interplay: with worker 2 of 4 dead, the
+    rotation covers the three survivors evenly.  Under the old pointer
+    arithmetic the probe remapped worker 2's slot onto worker 3, which
+    then took twice the load of workers 0 and 1."""
+    from repro.core.request import Request
+    from repro.core.workload import Workload
+    from repro.db.server import DatabaseServer, ServerConfig
+
+    server = DatabaseServer(sim, ServerConfig(workers=4,
+                                              routing="round-robin"))
+    server.quarantined.add(2)
+    workload = Workload("w", 1000.0)
+    for _ in range(9):
+        server.submit(Request(workload, "t", sim.now, 28.0))
+    backlog = [w.queue_length() + (0 if w.idle else 1)
+               for w in server.workers]
+    assert backlog == [3, 3, 0, 3]
+
+
+def test_server_least_loaded_avoids_quarantined_idle_worker(sim):
+    """Dying-core x least-loaded interplay: a quarantined worker is
+    always idle (nothing dispatches), making it the policy's favorite
+    target forever unless the eligible set hides it."""
+    from repro.core.request import Request
+    from repro.core.workload import Workload
+    from repro.db.server import DatabaseServer, ServerConfig
+
+    server = DatabaseServer(sim, ServerConfig(workers=3,
+                                              routing="least-loaded"))
+    server.quarantined.add(1)
+    workload = Workload("w", 1000.0)
+    for _ in range(6):
+        server.submit(Request(workload, "t", sim.now, 28.0))
+    backlog = [w.queue_length() + (0 if w.idle else 1)
+               for w in server.workers]
+    assert backlog == [3, 0, 3]
 
 
 def test_server_rejects_unknown_routing(sim):

@@ -158,12 +158,25 @@ class _ChunkedSortedList:
 
     def kth(self, k: int) -> float:
         """The k-th smallest element (0-based)."""
+        size = self._size
+        if k >= size:
+            raise IndexError(f"rank {k} out of range for size {size}")
+        # High percentiles rank near the tail, so walk in from
+        # whichever end is closer; the runs concatenate in sorted
+        # order from either direction.
+        if 2 * k >= size:
+            j = size - 1 - k
+            for run in reversed(self._runs):
+                n = len(run)
+                if j < n:
+                    return run[n - 1 - j]
+                j -= n
         for run in self._runs:
             n = len(run)
             if k < n:
                 return run[k]
             k -= n
-        raise IndexError(f"rank {k} out of range for size {self._size}")
+        raise IndexError(f"rank {k} out of range for size {size}")
 
     def flatten(self) -> List[float]:
         """All elements in sorted order (diagnostics and tests)."""
@@ -329,6 +342,25 @@ class ExecutionTimeEstimator:
         self.window = window
         self.percentile = percentile
         self._trackers: Dict[Tuple[str, float], SlidingWindowPercentile] = {}
+        #: Bumped on every mutation.  Consumers (the POLARIS mu-vector
+        #: cache) may reuse estimates as long as this hasn't moved;
+        #: estimator *proxies* that vary estimates over time without
+        #: observing (repro.faults skew windows) deliberately do not
+        #: expose a ``version``, which disables such caching.
+        self.version = 0
+        #: Per-workload mutation counters: an observation for workload
+        #: ``c`` moves only ``workload_versions[c]``, so cached
+        #: estimate vectors for *other* workloads stay valid --- the
+        #: global counter alone would invalidate the whole cache on
+        #: every completion.
+        self.workload_versions: Dict[str, int] = {}
+        #: Estimate-vector caches, keyed by frequency tuple then
+        #: workload (see PolarisScheduler).  Living on the estimator
+        #: rather than the scheduler lets every worker sharing this
+        #: estimator share one cache: a vector built after any
+        #: observation is valid for all of them, instead of each of N
+        #: workers rebuilding it once per mutation.
+        self.mu_vector_caches: Dict[Tuple[float, ...], dict] = {}
 
     def _tracker(self, workload: str,
                  freq_ghz: float) -> SlidingWindowPercentile:
@@ -347,7 +379,13 @@ class ExecutionTimeEstimator:
         dispatch, as in the prototype (a transaction occasionally spans
         a frequency change; the sliding window absorbs the noise).
         """
-        self._tracker(workload, freq_ghz).observe(execution_seconds)
+        tracker = self._tracker(workload, freq_ghz)
+        tracker.observe(execution_seconds)
+        self.version += 1
+        version = self.workload_versions.get(workload, 0) + 1
+        self.workload_versions[workload] = version
+        if self.mu_vector_caches:
+            self._refresh_vectors(workload, freq_ghz, tracker, version)
 
     def estimate(self, workload: str, freq_ghz: float) -> float:
         """``mu(c, f)``: predicted execution time in seconds (0 if unseen)."""
@@ -362,6 +400,34 @@ class ExecutionTimeEstimator:
         tracker = self._tracker(workload, freq_ghz)
         for _ in range(count):
             tracker.observe(value)
+        self.version += 1
+        version = self.workload_versions.get(workload, 0) + 1
+        self.workload_versions[workload] = version
+        if self.mu_vector_caches:
+            self._refresh_vectors(workload, freq_ghz, tracker, version)
+
+    def _refresh_vectors(self, workload: str, freq_ghz: float,
+                         tracker: SlidingWindowPercentile,
+                         version: int) -> None:
+        """Patch cached estimate vectors in place after a mutation.
+
+        An observation for ``(workload, freq_ghz)`` changes exactly one
+        tracker, so a cached vector for this workload stays correct at
+        every *other* frequency --- only the observed frequency's slot
+        needs the fresh ``tracker.value()``, and the entry's version
+        stamp moves up so consumers treat it as current.  This replaces
+        a full ``[estimate(c, f) for f in freqs]`` rebuild per mutation
+        with one slot write, and is value-identical to the rebuild.
+        """
+        for freqs, cache in self.mu_vector_caches.items():
+            entry = cache.get(workload)
+            if entry is not None:
+                vector = entry[1]
+                if freq_ghz in freqs:
+                    vector[freqs.index(freq_ghz)] = tracker.value()
+                # A frequency outside this cache's ladder touches no
+                # slot, so the vector is already current either way.
+                cache[workload] = (version, vector)
 
     def observation_count(self, workload: str, freq_ghz: float) -> int:
         tracker = self._trackers.get((workload, freq_ghz))

@@ -39,10 +39,10 @@ class Request:
         times --- matching the paper's black-box estimation setting.
     """
 
-    __slots__ = ("request_id", "workload", "txn_type", "arrival_time",
-                 "deadline", "work", "state", "dispatch_time",
-                 "finish_time", "worker_id", "dispatch_freq",
-                 "single_freq", "result")
+    __slots__ = ("request_id", "workload", "workload_name", "txn_type",
+                 "arrival_time", "deadline", "work", "state",
+                 "dispatch_time", "finish_time", "worker_id",
+                 "dispatch_freq", "single_freq", "result")
 
     _next_id = 0
 
@@ -51,6 +51,10 @@ class Request:
         Request._next_id += 1
         self.request_id = Request._next_id
         self.workload = workload
+        #: ``workload.name`` denormalized: the scheduler's queue walk
+        #: reads it once per (queued request x invocation), where the
+        #: extra attribute hop is measurable.
+        self.workload_name: str = workload.name
         self.txn_type = txn_type
         self.arrival_time = arrival_time
         self.deadline = deadline if deadline is not None \

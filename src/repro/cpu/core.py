@@ -172,18 +172,19 @@ class Core:
             raise RuntimeError(f"core {self.core_id} is busy")
         if self.stalled:
             raise RuntimeError(f"core {self.core_id} is stalled")
-        idle_duration = self.sim.now - self._segment_start
-        wake = self.cstates.wake_latency(idle_duration)
+        sim = self.sim
+        now = sim.now
+        wake = self.cstates.wake_latency(now - self._segment_start)
         self._close_segment()
         self._segment_busy = True
         self._job = job
         self._executed = 0.0
-        self._progress_mark = self.sim.now + wake
+        self._progress_mark = now + wake
         self._on_complete = on_complete
-        job.start_time = self.sim.now
+        job.start_time = now
         job.dispatch_freq = self.freq
         duration = wake + job.work / self.freq
-        self._completion = self.sim.schedule(duration, self._complete)
+        self._completion = sim.schedule(duration, self._complete)
         if self.sanitize:
             self.sanitize_check()
 
@@ -358,23 +359,25 @@ class Core:
     # ------------------------------------------------------------------
     def _close_segment(self) -> None:
         """Integrate energy/busy time since the last state change."""
-        duration = self.sim.now - self._segment_start
+        now = self.sim.now
+        duration = now - self._segment_start
         if self.sanitize:
             invariant(duration >= 0, "clock-monotonic",
                       "accounting segment runs backwards in time",
-                      core_id=self.core_id, now=self.sim.now,
+                      core_id=self.core_id, now=now,
                       segment_start=self._segment_start)
         if duration > 0:
+            freq = self.freq
+            residency = self.freq_residency
             if self._segment_busy:
                 self.energy_joules += \
-                    self.power_model.active_power(self.freq) * duration
+                    self.power_model.active_power(freq) * duration
                 self.busy_seconds += duration
             else:
                 self.energy_joules += self.cstates.idle_energy(
-                    self.power_model.idle_power(self.freq), duration)
-            self.freq_residency[self.freq] = \
-                self.freq_residency.get(self.freq, 0.0) + duration
-        self._segment_start = self.sim.now
+                    self.power_model.idle_power(freq), duration)
+            residency[freq] = residency.get(freq, 0.0) + duration
+        self._segment_start = now
 
     def flush_accounting(self) -> None:
         """Close the open accounting segment at the current time.

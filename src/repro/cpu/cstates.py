@@ -61,6 +61,13 @@ class CStateModel:
         if any(s.demotion_after <= 0 for s in ladder[:-1]):
             raise ValueError("non-terminal demotion thresholds must be positive")
         self.ladder: Tuple[CState, ...] = tuple(ladder)
+        #: Fast path for the default C1-only ladder: every idle interval
+        #: is one segment, so energy and wake latency collapse to a
+        #: multiply and a constant --- worth skipping the segment-list
+        #: build, which otherwise runs twice per dispatch.
+        self._single_state = len(self.ladder) == 1
+        self._c1_fraction = self.ladder[0].power_fraction
+        self._c1_wake = self.ladder[0].wake_latency_s
 
     def segments(self, duration_s: float) -> List[Tuple[CState, float]]:
         """Split an idle interval into (state, residency) segments."""
@@ -83,11 +90,22 @@ class CStateModel:
         ``c1_idle_watts`` is the operating point's C1 idle power from the
         :class:`~repro.cpu.power.CorePowerModel`.
         """
+        if self._single_state:
+            if duration_s < 0:
+                raise ValueError("idle duration cannot be negative")
+            if duration_s <= 0:
+                return 0.0
+            # Single segment: the sum below would be exactly this product.
+            return c1_idle_watts * self._c1_fraction * duration_s
         return sum(c1_idle_watts * state.power_fraction * residency
                    for state, residency in self.segments(duration_s))
 
     def wake_latency(self, duration_s: float) -> float:
         """Wake latency paid after idling for ``duration_s`` seconds."""
+        if self._single_state:
+            if duration_s < 0:
+                raise ValueError("idle duration cannot be negative")
+            return self._c1_wake if duration_s > 0 else 0.0
         segments = self.segments(duration_s)
         if not segments:
             return 0.0

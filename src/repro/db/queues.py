@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING, Deque, Iterator, List, Optional, Sequence, Tuple,
+)
 
 if TYPE_CHECKING:  # layering: queues sit below the request layer
     from repro.core.request import Request
@@ -39,6 +41,17 @@ class RequestQueue:
     def __iter__(self) -> Iterator[Request]:
         raise NotImplementedError
 
+    def scan(self) -> Tuple[Sequence[Request], int]:
+        """Return ``(items, start)`` for index-based iteration.
+
+        The queue's contents in pop order are ``items[start:]``.  The
+        POLARIS SetProcessorFreq walk is the engine's hottest loop;
+        indexing a concrete sequence avoids the generator protocol's
+        per-item resume cost.  The returned sequence must not be
+        mutated and is only valid until the next queue operation.
+        """
+        return list(self), 0
+
 
 class FifoQueue(RequestQueue):
     """Arrival-order queue (Shore-MT's default scheduler)."""
@@ -60,6 +73,9 @@ class FifoQueue(RequestQueue):
 
     def __iter__(self) -> Iterator[Request]:
         return iter(self._items)
+
+    def scan(self) -> Tuple[Sequence[Request], int]:
+        return list(self._items), 0
 
 
 class EdfQueue(RequestQueue):
@@ -118,3 +134,8 @@ class EdfQueue(RequestQueue):
     def __iter__(self) -> Iterator[Request]:
         for idx in range(self._head, len(self._items)):
             yield self._items[idx]
+
+    def scan(self) -> Tuple[Sequence[Request], int]:
+        # Zero-copy: the walk indexes the live backing list from the
+        # head pointer (entries before it are cleared, never yielded).
+        return self._items, self._head

@@ -115,7 +115,17 @@ class ServerConfig:
 
 
 class Worker:
-    """One worker thread pinned to one core."""
+    """One worker thread pinned to one core.
+
+    ``accept``/``_dispatch_next``/``_on_complete`` run once per
+    transaction and dominate the server-side profile after the
+    scheduler walk; they bind hot attributes to locals and the class
+    uses ``__slots__`` to keep attribute access on the fast path.
+    """
+
+    __slots__ = ("worker_id", "core", "msr", "dispatcher", "server",
+                 "current", "completed", "_transitions_at_dispatch",
+                 "tracer", "trace_track", "_admits")
 
     def __init__(self, worker_id: int, core: Core, msr: MsrFile,
                  dispatcher, server: "DatabaseServer"):
@@ -124,6 +134,10 @@ class Worker:
         self.msr = msr
         self.dispatcher = dispatcher
         self.server = server
+        #: Admission-control hook, resolved once --- the dispatcher is
+        #: fixed for the worker's lifetime and getattr on every arrival
+        #: is measurable.
+        self._admits = getattr(dispatcher, "admits", None)
         self.current: Optional[Request] = None
         self.completed = 0
         self._transitions_at_dispatch = 0
@@ -210,46 +224,48 @@ class Worker:
         (a queue past the shed depth rejects before the dispatcher is
         consulted at all).
         """
-        resilience = self.server.resilience
+        server = self.server
+        dispatcher = self.dispatcher
+        tracer = self.tracer
+        resilience = server.resilience
         if resilience is not None and resilience.maybe_shed(self, request):
             request.state = RequestState.REJECTED
-            if self.tracer.enabled:
-                self.tracer.instant(self.trace_track, "txn:shed",
-                                    self.server.sim.now,
-                                    txn_type=request.txn_type,
-                                    deadline=request.deadline)
-            self.server.notify_rejection(request)
+            if tracer.enabled:
+                tracer.instant(self.trace_track, "txn:shed",
+                               server.sim.now,
+                               txn_type=request.txn_type,
+                               deadline=request.deadline)
+            server.notify_rejection(request)
             return
-        admits = getattr(self.dispatcher, "admits", None)
+        admits = self._admits
         if admits is not None and not admits(
-                self.server.sim.now, self.current,
+                server.sim.now, self.current,
                 self.core.running_elapsed(), request):
             request.state = RequestState.REJECTED
-            if self.tracer.enabled:
-                self.tracer.instant(self.trace_track, "txn:rejected",
-                                    self.server.sim.now,
-                                    txn_type=request.txn_type,
-                                    deadline=request.deadline)
-            self.server.notify_rejection(request)
+            if tracer.enabled:
+                tracer.instant(self.trace_track, "txn:rejected",
+                               server.sim.now,
+                               txn_type=request.txn_type,
+                               deadline=request.deadline)
+            server.notify_rejection(request)
             return
-        self.dispatcher.enqueue(request)
-        if self.tracer.enabled:
-            now_s = self.server.sim.now
-            self.tracer.async_begin("txn", request.request_id,
-                                    f"txn:{request.txn_type}", now_s,
-                                    worker=self.worker_id,
-                                    deadline=request.deadline)
-            self.tracer.counter(self.trace_track,
-                                f"queue_depth.w{self.worker_id}", now_s,
-                                depth=len(self.dispatcher))
-        if self.idle:
+        dispatcher.enqueue(request)
+        if tracer.enabled:
+            now_s = server.sim.now
+            tracer.async_begin("txn", request.request_id,
+                               f"txn:{request.txn_type}", now_s,
+                               worker=self.worker_id,
+                               deadline=request.deadline)
+            tracer.counter(self.trace_track,
+                           f"queue_depth.w{self.worker_id}", now_s,
+                           depth=len(dispatcher))
+        if self.current is None:
             self._dispatch_next()
-        elif self.dispatcher.adjusts_on_arrival:
-            assert self.current is not None
-            freq = self.dispatcher.select_frequency(
-                self.server.sim.now, self.current,
+        elif dispatcher.adjusts_on_arrival:
+            freq = dispatcher.select_frequency(
+                server.sim.now, self.current,
                 self.core.running_elapsed())
-            if self.tracer.enabled:
+            if tracer.enabled:
                 self._trace_decision("setfreq:arrival", freq)
             self._apply_frequency(freq)
 
@@ -293,62 +309,65 @@ class Worker:
     # Completion path (run by the worker itself)
     # ------------------------------------------------------------------
     def _dispatch_next(self) -> None:
-        if self.core.stalled:
+        core = self.core
+        if core.stalled:
             # A frozen core cannot start work; arrivals keep queueing
             # until the watchdog migrates them or the core resumes.
             return
-        request = self.dispatcher.next_request()
+        dispatcher = self.dispatcher
+        server = self.server
+        request = dispatcher.next_request()
         if request is None:
             # Empty queue: SetProcessorFreq with no constraints selects
             # the lowest frequency (Figure 2 with Q = {} and no t0), so
             # an idling core drops to its floor operating point.
-            freq = self.dispatcher.select_frequency(self.server.sim.now,
-                                                    None)
+            freq = dispatcher.select_frequency(server.sim.now, None)
             if self.tracer.enabled:
                 self._trace_decision("setfreq:idle", freq)
             self._apply_frequency(freq)
             return
-        now = self.server.sim.now
+        now = server.sim.now
         # SetProcessorFreq before executing the dequeued request: the
         # dequeued transaction is t0 with e0 = 0 (Section 5).
-        freq = self.dispatcher.select_frequency(now, request, 0.0)
+        freq = dispatcher.select_frequency(now, request, 0.0)
         if self.tracer.enabled:
             self._trace_decision("setfreq:dispatch", freq)
             self.tracer.counter(self.trace_track,
                                 f"queue_depth.w{self.worker_id}", now,
-                                depth=len(self.dispatcher))
+                                depth=len(dispatcher))
         self._apply_frequency(freq)
         request.state = RequestState.RUNNING
         request.dispatch_time = now
         request.worker_id = self.worker_id
-        request.dispatch_freq = self.core.freq
-        self._transitions_at_dispatch = self.core.freq_transitions
+        request.dispatch_freq = core.freq
+        self._transitions_at_dispatch = core.freq_transitions
         self.current = request
         if self.tracer.enabled:
             self.tracer.async_instant("txn", request.request_id,
                                       "txn:dispatch", now,
                                       worker=self.worker_id,
-                                      freq_ghz=self.core.freq)
+                                      freq_ghz=core.freq)
             self.tracer.begin(self.trace_track,
                               f"exec:{request.txn_type}", now,
                               deadline=request.deadline,
-                              freq_ghz=self.core.freq)
-        if self.server.functional_executor is not None:
-            request.result = self.server.functional_executor(request)
-        self.core.start_job(Job(request.work, payload=request),
-                            self._on_complete)
+                              freq_ghz=core.freq)
+        if server.functional_executor is not None:
+            request.result = server.functional_executor(request)
+        core.start_job(Job(request.work, payload=request),
+                       self._on_complete)
 
     def _on_complete(self, job: Job) -> None:
+        server = self.server
         request = job.payload
         assert request is self.current
         request.state = RequestState.DONE
-        request.finish_time = self.server.sim.now
+        request.finish_time = server.sim.now
         request.single_freq = \
             self.core.freq_transitions == self._transitions_at_dispatch
         self.current = None
         self.completed += 1
         if self.tracer.enabled:
-            now_s = self.server.sim.now
+            now_s = server.sim.now
             met = request.met_deadline
             self.tracer.end(self.trace_track, now_s, met_deadline=met,
                             single_freq=request.single_freq)
@@ -357,7 +376,7 @@ class Worker:
                                   met_deadline=met,
                                   latency_s=request.latency)
         self.dispatcher.record_completion(request)
-        self.server.notify_completion(request)
+        server.notify_completion(request)
         self._dispatch_next()
 
 

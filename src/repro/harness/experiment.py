@@ -354,22 +354,29 @@ def run_experiment(config: ExperimentConfig,
     if injector is not None:
         rate_fn = injector.wrap_rate(rate_fn)
 
-    service_rng = streams.get("service-times")
+    # The three per-arrival streams consume entropy through random()
+    # only, so they serve pre-drawn blocks (bit-identical; see
+    # BatchedStream).  The tier stream draws with randrange() and must
+    # stay unbatched.
+    service_rng = streams.get_batched("service-times")
+    mix_rng = streams.get_batched("mix")
     tier_rng = streams.get("tier-assignment")
     tiers = manager.workloads if config.workload_policy == "tiers" else None
+    choose_type = spec.choose_type
+    manager_get = manager.get
+    submit = server.submit
 
     def on_arrival(now: float) -> None:
-        txn_type = spec.choose_type(streams.get("mix"))
+        txn_type = choose_type(mix_rng)
         if tiers is not None:
             workload = tiers[tier_rng.randrange(len(tiers))]
         else:
-            workload = manager.get(txn_type.name)
-        request = Request(workload, txn_type.name, now,
-                          txn_type.service.draw_work(service_rng))
-        server.submit(request)
+            workload = manager_get(txn_type.name)
+        submit(Request(workload, txn_type.name, now,
+                       txn_type.service.draw_work(service_rng)))
 
     generator = OpenLoopGenerator(sim, rate_fn, on_arrival,
-                                  streams.get("arrivals"))
+                                  streams.get_batched("arrivals"))
 
     # ------------------------------------------------------------------
     # Instrumentation

@@ -4,11 +4,15 @@ Every figure reproduction is a grid of fully independent,
 seed-deterministic :class:`ExperimentConfig` cells.  :class:`SweepRunner`
 exploits both properties:
 
-* **Parallelism** --- cache misses fan out over a
-  ``concurrent.futures.ProcessPoolExecutor``.  Each cell is an isolated
-  simulation with its own RNG streams, so results are independent of
-  worker assignment, and the runner returns them in submission order ---
-  parallel output is byte-identical to serial.
+* **Parallelism** --- cache misses fan out over a *persistent*
+  ``concurrent.futures.ProcessPoolExecutor`` (module-level, reused
+  across sweeps, warmed by an initializer that pre-imports the
+  experiment stack and hashes the source tree).  Each cell is an
+  isolated simulation with its own RNG streams, so results are
+  independent of worker assignment, and the runner returns them in
+  submission order --- parallel output is byte-identical to serial.
+  Cells cross the process boundary as compact dicts (non-default
+  config fields only) and are submitted in chunks to amortize IPC.
 * **Caching** --- each cell's result is stored on disk under a key that
   hashes the full config dataclass **and** a digest of the
   :mod:`repro` package's source code.  Re-running a figure only
@@ -33,14 +37,16 @@ Cache layout (see README):
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import MISSING, asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro
 from repro.analysis.sanitizer import simsan_enabled
@@ -183,6 +189,101 @@ def _run_cell(config: ExperimentConfig) -> ExperimentResult:
     return run_experiment(config)
 
 
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+#: Env vars a worker process snapshots when it starts; repro reads them
+#: lazily, but a pool forked under one setting must not serve sweeps
+#: run under another (the sanitizer/trace/fault switches would silently
+#: keep their old values inside reused workers).
+_POOL_ENV_VARS = ("REPRO_SIMSAN", "REPRO_TRACE", "REPRO_FAULTS")
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_key: Optional[Tuple[int, Tuple[Optional[str], ...]]] = None
+
+
+def _pool_env_fingerprint() -> Tuple[Optional[str], ...]:
+    return tuple(os.environ.get(name) for name in _POOL_ENV_VARS)
+
+
+def _warm_worker() -> None:
+    """Pool initializer, run once per worker process: import the full
+    experiment stack and hash the source tree, so the first cell a
+    worker executes pays neither the import cascade nor the salt."""
+    import repro.harness.experiment  # noqa: F401
+    code_version_salt()
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent sweep pool, (re)built on demand.
+
+    Worker processes survive across :meth:`SweepRunner.run` calls, so
+    every sweep after the first (figure after figure in one CLI
+    invocation, back-to-back grids in tests) skips process spawn,
+    interpreter startup, and the :func:`_warm_worker` warmup.  The pool
+    is keyed on the worker count *and* the :data:`_POOL_ENV_VARS`
+    fingerprint: flipping simsan/trace/faults between sweeps rebuilds
+    it rather than reusing workers with stale environment snapshots.
+    """
+    global _pool, _pool_key
+    key = (workers, _pool_env_fingerprint())
+    if _pool is not None and _pool_key != key:
+        shutdown_shared_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=workers,
+                                    initializer=_warm_worker)
+        _pool_key = key
+    return _pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the persistent pool (env change, breakage, interpreter
+    exit).  Safe to call when no pool exists."""
+    global _pool, _pool_key
+    pool, _pool, _pool_key = _pool, None, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pool)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def _config_defaults() -> Dict[str, object]:
+    defaults = {}
+    for f in fields(ExperimentConfig):
+        if f.default is not MISSING:
+            defaults[f.name] = f.default
+        elif f.default_factory is not MISSING:  # type: ignore[misc]
+            defaults[f.name] = f.default_factory()  # type: ignore[misc]
+    return defaults
+
+
+_WIRE_DEFAULTS = _config_defaults()
+
+
+def _config_to_wire(config: ExperimentConfig) -> Dict[str, object]:
+    """Compact dict of the fields that differ from the defaults.
+
+    Sweeps override a handful of ExperimentConfig's ~25 fields; sending
+    only those keeps the pickled task payload small, which matters once
+    cells are submitted in chunks of many configs.
+    """
+    wire = {}
+    for name, default in _WIRE_DEFAULTS.items():
+        value = getattr(config, name)
+        if value != default:
+            wire[name] = value
+    return wire
+
+
+def _run_chunk(wires: Sequence[Dict[str, object]]) -> List[ExperimentResult]:
+    """Worker-side entry point: rebuild each compact config and run it."""
+    return [run_experiment(ExperimentConfig(**wire)) for wire in wires]
+
+
 def _cacheable(config: ExperimentConfig) -> bool:
     """Cells that asked for trace artifacts always run: a cache hit
     would return the metrics without ever writing the requested files.
@@ -276,29 +377,65 @@ class SweepRunner:
             cells=len(configs), cache_hits=hits, executed=len(misses),
             wall_seconds=perf_clock() - start,
             cell_seconds=cell_seconds)
+        if self.report is not None:
+            # The report's throughput denominator must be the sweep
+            # wall clock: under parallel execution the per-cell walls
+            # overlap, and summing them undercounts events/sec by
+            # roughly the worker count.
+            self.report.record_sweep(self.stats.wall_seconds)
         return [r for r in results if r is not None]
 
     def _run_parallel(self, configs: Sequence[ExperimentConfig],
                       misses: Sequence[int],
                       finish: Callable[[int, ExperimentResult], None]
                       ) -> None:
-        workers = min(self.jobs, len(misses))
+        # Chunking amortizes per-task IPC; several chunks per worker
+        # keep the tail balanced when cell costs vary across the grid.
+        chunk_size = max(1, len(misses)
+                         // (min(self.jobs, len(misses)) * 4))
+        chunks = [list(misses[pos:pos + chunk_size])
+                  for pos in range(0, len(misses), chunk_size)]
         finished = set()
+        broken = False
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                future_index = {
-                    pool.submit(_run_cell, configs[i]): i for i in misses}
-                pending = set(future_index)
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        i = future_index[future]
-                        finish(i, future.result())
+            # Sized by self.jobs (not this sweep's miss count) so the
+            # persistent pool is reused across sweeps of any size;
+            # worker processes are spawned on demand, so small sweeps
+            # never pay for idle slots.
+            pool = shared_pool(self.jobs)
+            future_chunk = {
+                pool.submit(_run_chunk,
+                            [_config_to_wire(configs[i]) for i in chunk]):
+                chunk for chunk in chunks}
+            pending = set(future_chunk)
+            while pending and not broken:
+                done, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    # Harvest every completed chunk in this batch even
+                    # if a sibling future carries the pool's death ---
+                    # cells that already landed must not re-run.
+                    try:
+                        chunk_results = future.result()
+                    except (BrokenProcessPool, OSError,
+                            PermissionError):
+                        broken = True
+                        continue
+                    for i, result in zip(future_chunk[future],
+                                         chunk_results):
+                        finish(i, result)
                         finished.add(i)
-        except (OSError, PermissionError):
-            # Environments without process spawning (sandboxes, some
-            # CI runners): degrade to serial rather than fail the sweep.
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Pool construction or submission failed outright (no
+            # process spawning in sandboxes/some CI runners, or the
+            # executor was already poisoned).
+            broken = True
+        if broken:
+            # A dead worker (OOM-kill, signal) poisons the whole
+            # executor --- discard it so the next sweep gets a fresh
+            # pool, and degrade to serial for exactly the cells that
+            # have not already landed rather than fail the sweep.
+            shutdown_shared_pool()
             for i in misses:
                 if i not in finished:
                     finish(i, _run_cell(configs[i]))
@@ -319,5 +456,5 @@ def run_sweep(configs: Sequence[ExperimentConfig],
 __all__ = [
     "CACHE_DIR_ENV", "DEFAULT_CACHE_DIR", "JOBS_ENV", "SweepCache",
     "SweepRunner", "SweepStats", "code_version_salt", "config_key",
-    "resolve_jobs", "run_sweep",
+    "resolve_jobs", "run_sweep", "shared_pool", "shutdown_shared_pool",
 ]

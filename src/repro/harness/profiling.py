@@ -74,6 +74,11 @@ class TimingReport:
     phases: Dict[str, float] = field(default_factory=dict)
     cells: List[CellTiming] = field(default_factory=list)
     started_at: float = field(default_factory=wall_clock)
+    #: Sweep wall-clock seconds, accumulated across the runner's
+    #: ``run()`` calls.  This is the parallel-aware throughput
+    #: denominator: per-cell walls overlap under ``jobs > 1``, so
+    #: summing them undercounts events/sec by ~the worker count.
+    sweep_wall_seconds: float = 0.0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -88,6 +93,11 @@ class TimingReport:
     def record_cell(self, label: str, cached: bool, wall_seconds: float,
                     sim_events: int = 0) -> None:
         self.cells.append(CellTiming(label, cached, wall_seconds, sim_events))
+
+    def record_sweep(self, wall_seconds: float) -> None:
+        """Accumulate one sweep's wall-clock time (the runner calls
+        this once per ``run()``)."""
+        self.sweep_wall_seconds += wall_seconds
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -110,10 +120,17 @@ class TimingReport:
 
     def aggregate_events_per_sec(self) -> float:
         """Simulated events per wall second, over executed (uncached)
-        cells only --- the harness's end-to-end simulation throughput."""
+        cells --- the harness's end-to-end simulation throughput.
+
+        The denominator is the sweep wall clock when the runner
+        recorded one (correct under ``jobs > 1``, where per-cell walls
+        overlap); reports fed by hand (no runner) fall back to the
+        summed per-cell walls, which equal the sweep wall serially.
+        """
         executed = [c for c in self.cells if not c.cached]
-        wall = sum(c.wall_seconds for c in executed)
         events = sum(c.sim_events for c in executed)
+        wall = self.sweep_wall_seconds if self.sweep_wall_seconds > 0 \
+            else sum(c.wall_seconds for c in executed)
         return events / wall if wall > 0 else 0.0
 
     # ------------------------------------------------------------------

@@ -118,22 +118,37 @@ class LatencyRecorder:
         self.total_lost += 1
 
     def on_completion(self, request: Request) -> None:
-        if not self._in_scope(request):
+        # _in_scope and the Request latency/deadline properties are
+        # inlined here (same tests, same arithmetic): this runs once per
+        # completed transaction and the frames dominate its cost.
+        window = self.window
+        arrival = request.arrival_time
+        if window is not None:
+            if not window[0] <= arrival < window[1]:
+                return
+        elif not self.recording:
             return
-        stats = self.per_workload.setdefault(request.workload.name,
-                                             WorkloadStats())
+        # get-then-insert rather than setdefault: setdefault constructs
+        # its default on every call, and this runs once per completion.
+        name = request.workload_name
+        stats = self.per_workload.get(name)
+        if stats is None:
+            stats = self.per_workload[name] = WorkloadStats()
         stats.offered += 1
         stats.completed += 1
         self.total_offered += 1
         self.total_completed += 1
-        if not request.met_deadline:
+        finish = request.finish_time
+        if not finish <= request.deadline + 1e-12:
             stats.missed += 1
             self.total_missed += 1
         if self.keep_latencies:
-            stats.latencies.append(request.latency)
+            stats.latencies.append(finish - arrival)
             key = (request.txn_type, request.dispatch_freq)
-            self.exec_times.setdefault(key, []).append(
-                request.execution_time)
+            times = self.exec_times.get(key)
+            if times is None:
+                times = self.exec_times[key] = []
+            times.append(finish - request.dispatch_time)
 
     # ------------------------------------------------------------------
     @property

@@ -60,12 +60,20 @@ class OpenLoopGenerator:
     or when the simulator's run window ends.
     """
 
+    __slots__ = ("sim", "_rate", "_on_arrival", "_rng", "_random",
+                 "_schedule", "_running", "generated")
+
     def __init__(self, sim: Simulator, rate: Callable[[float], float],
                  on_arrival: Callable[[float], None], rng: random.Random):
         self.sim = sim
         self._rate = rate
         self._on_arrival = on_arrival
         self._rng = rng
+        #: Hot-path bindings: one arrival costs one unit draw and one
+        #: schedule; binding the methods here keeps :meth:`_fire` free
+        #: of attribute chains.
+        self._random = rng.random
+        self._schedule = sim.schedule
         self._running = False
         self.generated = 0
 
@@ -96,18 +104,30 @@ class OpenLoopGenerator:
         self._running = False
 
     def _next_gap(self) -> float:
-        """Uniform(0, 2/rate) interarrival; infinite when rate is zero."""
+        """Uniform(0, 2/rate) interarrival; a short poll when the rate
+        is zero.
+
+        The draw is a *unit* draw scaled at fire time:
+        ``uniform(0, 2/rate)`` is ``(2/rate) * random()`` exactly (the
+        stdlib computes ``a + (b - a) * random()`` with ``a = 0``), so
+        the sequence is bit-identical whether the stream is batched or
+        plain and whatever the instantaneous rate is.
+        """
         rate = self._rate(self.sim.now)
         if rate <= 0:
             # Zero-rate stretch: poll again shortly rather than dying.
             return 0.05
-        return self._rng.uniform(0.0, 2.0 / rate)
+        return (2.0 / rate) * self._random()
 
     def _fire(self) -> None:
         if not self._running:
             return
-        rate = self._rate(self.sim.now)
+        now = self.sim.now
+        rate = self._rate(now)
         if rate > 0:
             self.generated += 1
-            self._on_arrival(self.sim.now)
-        self.sim.schedule(self._next_gap(), self._fire)
+            self._on_arrival(now)
+            gap = (2.0 / rate) * self._random()
+        else:
+            gap = 0.05
+        self._schedule(gap, self._fire)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -101,14 +102,18 @@ class ServiceTimeModel:
         return self._spike_seconds is not None
 
     def draw_seconds(self, rng: random.Random) -> float:
-        """Sample an execution time at the reference frequency."""
-        if self._spike_seconds is None:
-            assert self._mu is not None and self._sigma is not None
-            return rng.lognormvariate(self._mu, self._sigma)
+        """Sample an execution time at the reference frequency.
+
+        Hot path: one draw per offered request.  Both branches consume
+        entropy through ``rng.random()`` only (``lognormvariate``
+        included), so service streams batch safely.
+        """
+        mu = self._mu
+        if mu is not None:
+            return rng.lognormvariate(mu, self._sigma)
         if rng.random() < self.SPIKE_PROBABILITY:
             jitter = 1.0 + self.SPIKE_JITTER * (2.0 * rng.random() - 1.0)
             return self._spike_seconds * jitter
-        assert self._body_mu is not None
         return rng.lognormvariate(self._body_mu, self.BODY_SIGMA)
 
     def draw_work(self, rng: random.Random) -> float:
@@ -177,12 +182,17 @@ class BenchmarkSpec:
         return self._by_name[name]
 
     def choose_type(self, rng: random.Random) -> TransactionType:
-        """Draw a type according to the mix."""
+        """Draw a type according to the mix.
+
+        ``bisect_left`` finds the first cumulative edge >= u, which is
+        exactly the first type the original linear walk would accept
+        (``u <= edge``); the clamp covers a draw beyond the last edge
+        when the edges sum slightly under 1.0.
+        """
         u = rng.random()
-        for txn_type, edge in zip(self.types, self._cumulative):
-            if u <= edge:
-                return txn_type
-        return self.types[-1]
+        index = bisect_left(self._cumulative, u)
+        types = self.types
+        return types[index] if index < len(types) else types[-1]
 
     def mix_fraction(self, name: str) -> float:
         total = sum(t.mix_weight for t in self.types)

@@ -362,14 +362,26 @@ TRANSACTION_BODIES = {
 # ----------------------------------------------------------------------
 # Spec construction
 # ----------------------------------------------------------------------
+#: Memoized body-less spec: the harness builds one per experiment cell,
+#: and the spec (types, service models, cumulative mix) is immutable
+#: and stateless, so sweeps share a single instance.
+_BODILESS_SPEC: "BenchmarkSpec | None" = None
+
+
 def make_spec(include_bodies: bool = True) -> BenchmarkSpec:
     """The TPC-C benchmark spec calibrated to the paper's Figure 3."""
+    global _BODILESS_SPEC
+    if not include_bodies and _BODILESS_SPEC is not None:
+        return _BODILESS_SPEC
     types = []
     for name, (weight, mean_s, p95_s) in FIGURE3_CALIBRATION.items():
         body = TRANSACTION_BODIES[name] if include_bodies else None
         types.append(TransactionType(
             name, weight, ServiceTimeModel(mean_s, p95_s), body))
-    return BenchmarkSpec("tpcc", types)
+    spec = BenchmarkSpec("tpcc", types)
+    if not include_bodies:
+        _BODILESS_SPEC = spec
+    return spec
 
 
 def build_database(config: Optional[TpccConfig] = None,

@@ -364,14 +364,24 @@ TRANSACTION_BODIES = {
 }
 
 
+#: Memoized body-less spec (immutable and stateless; see tpcc.make_spec).
+_BODILESS_SPEC: "BenchmarkSpec | None" = None
+
+
 def make_spec(include_bodies: bool = True) -> BenchmarkSpec:
     """The TPC-E-style benchmark spec (ten types, paper Section 6.2.1)."""
+    global _BODILESS_SPEC
+    if not include_bodies and _BODILESS_SPEC is not None:
+        return _BODILESS_SPEC
     types = []
     for name, (weight, mean_s, p95_s) in CALIBRATION.items():
         body = TRANSACTION_BODIES[name] if include_bodies else None
         types.append(TransactionType(
             name, weight, ServiceTimeModel(mean_s, p95_s), body))
-    return BenchmarkSpec("tpce", types)
+    spec = BenchmarkSpec("tpce", types)
+    if not include_bodies:
+        _BODILESS_SPEC = spec
+    return spec
 
 
 def build_database(config: Optional[TpceConfig] = None,

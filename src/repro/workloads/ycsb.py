@@ -257,10 +257,20 @@ OPERATION_BODIES = {
 # ----------------------------------------------------------------------
 # Spec construction
 # ----------------------------------------------------------------------
+#: Memoized body-less specs by workload letter (immutable and
+#: stateless; see tpcc.make_spec).
+_BODILESS_SPECS: Dict[str, BenchmarkSpec] = {}
+
+
 def make_spec(workload: str = "a",
               include_bodies: bool = True) -> BenchmarkSpec:
     """BenchmarkSpec for YCSB core workload ``a``..``f``."""
-    mix = CORE_WORKLOAD_MIXES.get(workload.lower())
+    letter = workload.lower()
+    if not include_bodies:
+        cached = _BODILESS_SPECS.get(letter)
+        if cached is not None:
+            return cached
+    mix = CORE_WORKLOAD_MIXES.get(letter)
     if mix is None:
         raise ValueError(
             f"unknown YCSB workload {workload!r}; "
@@ -271,7 +281,10 @@ def make_spec(workload: str = "a",
         body = OPERATION_BODIES[op] if include_bodies else None
         types.append(TransactionType(op, float(weight),
                                      ServiceTimeModel(mean_s, p95_s), body))
-    return BenchmarkSpec(f"ycsb-{workload.lower()}", types)
+    spec = BenchmarkSpec(f"ycsb-{letter}", types)
+    if not include_bodies:
+        _BODILESS_SPECS[letter] = spec
+    return spec
 
 
 def request_distribution(workload: str) -> str:

@@ -1,0 +1,159 @@
+"""Shared cell grid + fingerprints for the byte-identity pin tests.
+
+The PR-6 engine optimizations (calendar event queue, batched RNG,
+POLARIS mu-vector cache, persistent sweep pool) all promise *exact*
+result identity with the pre-optimization serial path.  This module
+defines a small but diverse grid of experiment cells and a canonical
+fingerprint (the ``repr`` of every seed-deterministic result field, so
+floats pin to full precision).  ``tests/data/pinned_results.json``
+holds the fingerprints captured from the pre-optimization code; the
+pin test re-runs the grid and asserts equality.
+
+Regenerate (e.g. after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python tests/pinned_cells.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                         "pinned_results.json")
+
+_SHORT = dict(workers=2, warmup_seconds=0.3, test_seconds=0.8)
+
+
+def pinned_grid():
+    """Diverse, fast cells covering every hot path the PR touches.
+
+    Every cell pins ``trace=False``: the golden fingerprints were
+    captured with tracing off, and ambient ``REPRO_TRACE=1`` would
+    otherwise flip ``trace_events`` (and with it the fingerprint) ---
+    the pin asserts optimization-identity, not trace-invariance.
+    """
+    grid = _pinned_grid()
+    for config in grid:
+        config.trace = False
+    return grid
+
+
+def _pinned_grid():
+    return [
+        # POLARIS on the Figure 6 shape (tight slack, medium load).
+        ExperimentConfig(scheme="polaris", slack=10.0, workers=4,
+                         warmup_seconds=0.5, test_seconds=1.5, seed=11),
+        # Static baseline and both Linux governors.
+        ExperimentConfig(scheme="static-2.8", slack=70.0, seed=5, **_SHORT),
+        ExperimentConfig(scheme="static-1.2", slack=40.0, seed=5,
+                         load_fraction=0.3, **_SHORT),
+        ExperimentConfig(scheme="ondemand", slack=40.0, seed=7, **_SHORT),
+        ExperimentConfig(scheme="conservative", slack=40.0, seed=7, **_SHORT),
+        # Other benchmarks (tpce spike-model draws, ycsb mix).
+        ExperimentConfig(benchmark="tpce", scheme="polaris", slack=40.0,
+                         seed=13, **_SHORT),
+        ExperimentConfig(benchmark="ycsb-a", scheme="polaris", slack=40.0,
+                         seed=13, **_SHORT),
+        # Tier policy exercises the unbatchable randrange() stream.
+        ExperimentConfig(scheme="polaris", workload_policy="tiers",
+                         tier_targets={"gold": 7.5e-3, "silver": 37.5e-3},
+                         seed=9, **_SHORT),
+        # Faults wrap the estimator with a time-varying proxy (the
+        # mu-vector cache must stay disabled there).
+        ExperimentConfig(scheme="polaris", slack=40.0, seed=3,
+                         faults="burst+brownout", **_SHORT),
+        # Shared-frequency domains and the packing/parking extension.
+        ExperimentConfig(scheme="polaris", slack=40.0, seed=11, workers=4,
+                         warmup_seconds=0.3, test_seconds=0.8,
+                         topology="per-socket",
+                         topology_switch_latency=50e-6),
+        ExperimentConfig(scheme="polaris", slack=40.0, seed=11, workers=4,
+                         warmup_seconds=0.3, test_seconds=0.8,
+                         routing="packing", cstate_ladder="deep"),
+        # Time-varying load trace (arrival-rate schedule path).
+        ExperimentConfig(scheme="polaris", slack=40.0, seed=21,
+                         load_trace=[0.2, 0.9, 0.5], **_SHORT),
+        # Scheduler variants and ablations.
+        ExperimentConfig(scheme="polaris-fifo", slack=10.0, seed=5, **_SHORT),
+        ExperimentConfig(scheme="polaris-shed", slack=10.0, seed=5,
+                         load_fraction=0.9, **_SHORT),
+        ExperimentConfig(scheme="polaris", slack=10.0, seed=5,
+                         estimator_mixed_freq_updates=True, **_SHORT),
+    ]
+
+
+def cell_label(config: ExperimentConfig) -> str:
+    parts = [config.benchmark, config.scheme, f"seed{config.seed}",
+             f"slack{config.slack:g}", f"load{config.load_fraction:g}"]
+    if config.workload_policy != "per-type":
+        parts.append(config.workload_policy)
+    if config.faults:
+        parts.append("faults")
+    if config.topology != "per-core":
+        parts.append(config.topology)
+    if config.routing != "rh-round-robin":
+        parts.append(config.routing)
+    if config.load_trace:
+        parts.append("trace-load")
+    if config.estimator_mixed_freq_updates:
+        parts.append("mixedfreq")
+    return ":".join(parts)
+
+
+def fingerprint(result) -> str:
+    """Full-precision repr of every seed-deterministic result field."""
+    fields = dict(
+        scheme_label=result.scheme_label,
+        avg_power_watts=result.avg_power_watts,
+        failure_rate=result.failure_rate,
+        offered=result.offered,
+        completed=result.completed,
+        missed=result.missed,
+        rejected=result.rejected,
+        throughput=result.throughput,
+        peak_throughput=result.peak_throughput,
+        per_workload_failure=sorted(result.per_workload_failure.items()),
+        per_workload_offered=sorted(result.per_workload_offered.items()),
+        cpu_energy_joules=result.cpu_energy_joules,
+        wall_energy_joules=result.wall_energy_joules,
+        freq_residency=sorted(result.freq_residency.items()),
+        power_timeline=result.power_timeline,
+        load_timeline=result.load_timeline,
+        mean_latency_by_workload=sorted(
+            result.mean_latency_by_workload.items()),
+        trace_events=result.trace_events,
+        faults_injected=result.faults_injected,
+        degradation_actions=sorted(result.degradation_actions.items()),
+        lost=result.lost,
+        sim_events=result.sim_events,
+    )
+    return repr(fields)
+
+
+def capture() -> dict:
+    pins = {}
+    for config in pinned_grid():
+        label = cell_label(config)
+        assert label not in pins, f"duplicate cell label {label}"
+        pins[label] = fingerprint(run_experiment(config))
+    return pins
+
+
+def main(argv):
+    if "--write" not in argv:
+        print(__doc__)
+        return 1
+    pins = capture()
+    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+    with open(DATA_PATH, "w") as handle:
+        json.dump(pins, handle, indent=1, sort_keys=True)
+    print(f"wrote {len(pins)} pins -> {DATA_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

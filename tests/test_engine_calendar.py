@@ -1,0 +1,162 @@
+"""Calendar event queue vs the retained heapq oracle.
+
+The calendar queue must be observationally identical to the heap
+engine: same fire order, same clock, same accounting, under random
+interleavings of schedule / cancel / reschedule / run(until) / step.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import (
+    CalendarEventQueue, HeapEventQueue, SimulationError, Simulator,
+)
+
+
+class Driver:
+    """Applies one operation trace to one simulator, logging everything
+    observable: fire order, clock at fire time, peeks, final state."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.log = []
+        self.handles = []
+
+    def _fire(self, tag, chain_delay, chain_depth):
+        self.log.append(("fire", tag, self.sim.now))
+        if chain_depth > 0:
+            self._schedule(f"{tag}c", chain_delay, 0,
+                           chain_delay, chain_depth - 1)
+
+    def _schedule(self, tag, delay, priority, chain_delay, chain_depth):
+        event = self.sim.schedule(
+            delay, lambda: self._fire(tag, chain_delay, chain_depth),
+            priority=priority)
+        self.handles.append(event)
+
+    def apply(self, ops):
+        for index, op in enumerate(ops):
+            kind = op[0]
+            if kind == "schedule":
+                _, delay, priority, chain_delay, chain_depth = op
+                self._schedule(str(index), delay, priority,
+                               chain_delay, chain_depth)
+            elif kind == "cancel":
+                if self.handles:
+                    self.handles[op[1] % len(self.handles)].cancel()
+            elif kind == "reschedule":
+                # The POLARIS core pattern: cancel + schedule later.
+                if self.handles:
+                    victim = self.handles[op[1] % len(self.handles)]
+                    victim.cancel()
+                    self._schedule(f"r{index}", op[2], 0, 0.0, 0)
+            elif kind == "run_until":
+                self.sim.run(until=self.sim.now + op[1])
+                self.log.append(("ran", self.sim.now))
+            elif kind == "step":
+                self.log.append(("step", self.sim.step(), self.sim.now))
+            elif kind == "peek":
+                self.log.append(("peek", self.sim.peek_time()))
+        self.sim.run()
+        self.log.append(("end", self.sim.now, self.sim.events_processed,
+                         self.sim.pending_count(), self.sim.heap_size()))
+        return self.log
+
+
+DELAYS = st.floats(min_value=0.0, max_value=5e-3, allow_nan=False,
+                   allow_infinity=False)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), DELAYS,
+                  st.integers(min_value=-5, max_value=5), DELAYS,
+                  st.integers(min_value=0, max_value=3)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("reschedule"), st.integers(min_value=0), DELAYS),
+        st.tuples(st.just("run_until"), DELAYS),
+        st.tuples(st.just("step")),
+        st.tuples(st.just("peek")),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=OPS, width=st.sampled_from([1e-6, 97e-6, 250e-6, 1.0]))
+def test_calendar_matches_heap_oracle(ops, width):
+    calendar = Driver(Simulator(bucket_width_s=width)).apply(ops)
+    heap = Driver(Simulator(queue="heap")).apply(ops)
+    assert calendar == heap
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS)
+def test_calendar_sanitized_trace_is_clean(ops):
+    """Every random trace keeps the bucket invariants intact."""
+    sim = Simulator(sanitize=True)
+    Driver(sim).apply(ops)
+    sim.sanitize_check()
+
+
+def test_gap_schedule_lands_behind_parked_bucket():
+    """run(until=...) can park the cursor on a far-future bucket; a
+    subsequent schedule into the gap must still fire first (the
+    re-shelve path in CalendarEventQueue._advance)."""
+    for queue in ("calendar", "heap"):
+        sim = Simulator(queue=queue)
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("far"))
+        sim.run(until=3.0)  # peeks at the 5.0 bucket, pops nothing
+        assert sim.now == 3.0
+        sim.schedule_at(3.5, lambda: fired.append("gap-late"))
+        sim.schedule_at(3.2, lambda: fired.append("gap-early"))
+        sim.run()
+        assert fired == ["gap-early", "gap-late", "far"]
+
+
+def test_gap_schedule_keeps_invariants():
+    sim = Simulator(sanitize=True)
+    sim.schedule_at(5.0, lambda: None)
+    sim.run(until=3.0)
+    sim.schedule_at(3.5, lambda: None)
+    sim.sanitize_check()
+    sim.run()
+    assert sim.now == 5.0
+    assert sim.events_processed == 2
+
+
+def test_compaction_equivalent_across_queues():
+    logs = []
+    for queue in ("calendar", "heap"):
+        sim = Simulator(queue=queue)
+        fired = []
+        for i in range(400):
+            event = sim.schedule(1.0 + (i * 31 % 97), lambda i=i: fired.append(i))
+            if i % 4:
+                event.cancel()
+        sim.run()
+        logs.append((fired, sim.events_processed, sim.heap_size()))
+    assert logs[0] == logs[1]
+
+
+def test_non_finite_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
+def test_unknown_queue_rejected():
+    with pytest.raises(ValueError):
+        Simulator(queue="splay")
+
+
+def test_queue_kinds_exposed():
+    assert Simulator()._queue.kind == "calendar"
+    assert Simulator(queue="heap")._queue.kind == "heap"
+    assert isinstance(Simulator()._queue, CalendarEventQueue)
+    assert isinstance(Simulator(queue="heap")._queue, HeapEventQueue)
+
+
+def test_zero_width_rejected():
+    with pytest.raises(ValueError):
+        CalendarEventQueue(0.0)

@@ -305,3 +305,133 @@ def test_slack_sweep_trace_dir_writes_per_cell_artifacts(tmp_path):
     for name in traces:
         stats = validate_chrome_trace(str(tmp_path / "t" / name))
         assert stats["events"] > 0
+
+
+# ----------------------------------------------------------------------
+# persistent pool
+# ----------------------------------------------------------------------
+def test_shared_pool_reused_and_keyed_on_env(monkeypatch):
+    from repro.harness import parallel as par
+    par.shutdown_shared_pool()
+    monkeypatch.delenv("REPRO_SIMSAN", raising=False)
+    pool = par.shared_pool(2)
+    try:
+        # Same worker count, same env: the very same executor object.
+        assert par.shared_pool(2) is pool
+        # Flipping a snapshot-at-fork env var must rebuild the pool:
+        # reused workers would otherwise simulate under stale settings.
+        monkeypatch.setenv("REPRO_SIMSAN", "1")
+        rebuilt = par.shared_pool(2)
+        assert rebuilt is not pool
+        # A different worker count rebuilds too.
+        monkeypatch.delenv("REPRO_SIMSAN")
+        assert par.shared_pool(3) is not rebuilt
+    finally:
+        par.shutdown_shared_pool()
+    # Shutdown is idempotent.
+    par.shutdown_shared_pool()
+
+
+def test_config_wire_roundtrip():
+    from repro.harness.parallel import _config_to_wire
+    config = ExperimentConfig(scheme="static-1.2", slack=10.0, **FAST)
+    wire = _config_to_wire(config)
+    # Only overridden fields cross the process boundary.
+    assert set(wire) == {"scheme", "slack", "workers",
+                         "warmup_seconds", "test_seconds", "seed"}
+    assert ExperimentConfig(**wire) == config
+    # Defaults round-trip to an empty payload.
+    assert _config_to_wire(ExperimentConfig()) == {}
+
+
+def test_broken_pool_degrades_to_serial(tmp_path, monkeypatch):
+    """A poisoned executor must not fail the sweep: the runner discards
+    the pool and re-runs the unfinished cells in-process."""
+    from concurrent.futures.process import BrokenProcessPool
+    from repro.harness import parallel as par
+
+    def poisoned(workers):
+        raise BrokenProcessPool("a worker died")
+
+    monkeypatch.setattr(par, "shared_pool", poisoned)
+    grid = small_grid()
+    runner = SweepRunner(jobs=2, cache_dir=tmp_path / "c")
+    degraded = runner.run(grid)
+    assert runner.stats.executed == len(grid)
+    serial = run_sweep(grid, jobs=1, use_cache=False)
+    assert [comparable(r) for r in degraded] \
+        == [comparable(r) for r in serial]
+
+
+def test_broken_pool_reruns_only_unfinished(tmp_path, monkeypatch):
+    """Cells that already landed before the pool broke are not re-run."""
+    from concurrent.futures import Future
+    from concurrent.futures.process import BrokenProcessPool
+    from repro.harness import parallel as par
+
+    class FlakyPool:
+        """First chunk completes, every later chunk breaks."""
+
+        def __init__(self):
+            self.submissions = 0
+
+        def submit(self, fn, wires):
+            self.submissions += 1
+            future = Future()
+            if self.submissions == 1:
+                future.set_result(fn(wires))
+            else:
+                future.set_exception(BrokenProcessPool("boom"))
+            return future
+
+    monkeypatch.setattr(par, "shared_pool", lambda jobs: FlakyPool())
+    reruns = []
+    real_run_cell = par._run_cell
+
+    def counting_run_cell(config):
+        reruns.append(config)
+        return real_run_cell(config)
+
+    monkeypatch.setattr(par, "_run_cell", counting_run_cell)
+    grid = small_grid()
+    runner = SweepRunner(jobs=2, cache_dir=tmp_path / "c")
+    results = runner.run(grid)
+    rerun_count = len(reruns)
+    assert len(results) == len(grid)
+    assert [comparable(r) for r in results] \
+        == [comparable(r) for r in run_sweep(grid, jobs=1,
+                                             use_cache=False)]
+    # At least the first chunk landed through the pool, so the serial
+    # fallback re-ran strictly fewer cells than the whole grid.
+    assert rerun_count < len(grid)
+
+
+# ----------------------------------------------------------------------
+# events/sec accounting
+# ----------------------------------------------------------------------
+def test_events_per_sec_uses_sweep_wall_clock():
+    """Parallel cells overlap in time; the throughput denominator must
+    be the sweep wall clock, not the summed per-cell walls."""
+    report = TimingReport("unit", jobs=4)
+    # Four 1-second cells that ran concurrently inside a 1.2 s sweep.
+    for i in range(4):
+        report.record_cell(f"cell-{i}", cached=False, wall_seconds=1.0,
+                           sim_events=1000)
+    report.record_sweep(1.2)
+    assert report.aggregate_events_per_sec() == pytest.approx(4000 / 1.2)
+    # Without a recorded sweep (hand-fed report), fall back to the
+    # serial denominator.
+    fallback = TimingReport("unit", jobs=1)
+    fallback.record_cell("cell", cached=False, wall_seconds=2.0,
+                         sim_events=1000)
+    assert fallback.aggregate_events_per_sec() == pytest.approx(500.0)
+
+
+def test_runner_records_sweep_wall(tmp_path):
+    report = TimingReport("unit", jobs=1)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "c", report=report)
+    runner.run(small_grid()[:1])
+    assert report.sweep_wall_seconds > 0
+    before = report.sweep_wall_seconds
+    runner.run(small_grid()[:1])  # cached sweep still accumulates
+    assert report.sweep_wall_seconds > before

@@ -219,3 +219,40 @@ def test_noarrive_variant_flag():
                                              ExecutionTimeEstimator())
     assert scheduler.adjusts_on_arrival is False
     assert scheduler.name == "polaris-fifo-noarrive"
+
+
+def test_mu_cache_invalidated_by_observe():
+    """New observations must change subsequent selections (no stale
+    cached estimate vectors)."""
+    estimator = primed_estimator({"w": 1e-3})
+    scheduler = PolarisScheduler(FREQS, estimator)
+    tight = Request(Workload("w", 1.5e-3), "w", 0.0, 1.0)
+    assert scheduler.select_frequency(0.0, tight, 0.0) == 2.0
+    # Re-prime the estimator so the transaction now looks 10x longer:
+    # no frequency suffices, so POLARIS must run flat out.
+    for freq in FREQS:
+        estimator.prime("w", freq, 10e-3 * 2.8 / freq, count=1000)
+    assert scheduler.select_frequency(0.0, tight, 0.0) == 2.8
+
+
+def test_mu_cache_disabled_for_versionless_estimator():
+    """Estimator proxies without a ``version`` attribute (e.g. the
+    fault injector's time-varying skew wrapper) must not be cached."""
+
+    class TimeVaryingProxy:
+        def __init__(self, inner):
+            self._inner = inner
+            self.scale = 1.0
+
+        def estimate(self, workload, freq):
+            return self._inner.estimate(workload, freq) * self.scale
+
+    proxy = TimeVaryingProxy(primed_estimator({"w": 1e-3}))
+    assert not hasattr(proxy, "version")
+    scheduler = PolarisScheduler(FREQS, proxy)
+    tight = Request(Workload("w", 1.5e-3), "w", 0.0, 1.0)
+    assert scheduler.select_frequency(0.0, tight, 0.0) == 2.0
+    # The proxy's estimates drift without any version bump; the
+    # scheduler must see the change immediately.
+    proxy.scale = 10.0
+    assert scheduler.select_frequency(0.0, tight, 0.0) == 2.8

@@ -1,0 +1,43 @@
+"""Byte-identity pins: optimized engine vs the pre-optimization path.
+
+``tests/data/pinned_results.json`` was captured from the serial,
+heapq-engine, unbatched-RNG code immediately before the PR-6
+optimizations landed.  Every optimization in that PR (calendar event
+queue, batched RNG streams, POLARIS mu-vector cache, queue scan fast
+path, persistent sweep pool) claims *exact* value identity, so the
+full-precision fingerprints of a diverse cell grid must not move.
+
+If a future PR changes simulation semantics on purpose, regenerate the
+pins (``PYTHONPATH=src python tests/pinned_cells.py --write``) and say
+so in the PR description.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+from pinned_cells import DATA_PATH, cell_label, fingerprint, pinned_grid
+from repro.harness.experiment import run_experiment
+
+
+def _load_pins():
+    with open(DATA_PATH) as handle:
+        return json.load(handle)
+
+
+PINS = _load_pins()
+GRID = {cell_label(config): config for config in pinned_grid()}
+
+
+def test_every_pinned_cell_still_defined():
+    assert set(PINS) == set(GRID)
+
+
+@pytest.mark.parametrize("label", sorted(GRID))
+def test_cell_matches_pre_optimization_fingerprint(label):
+    result = run_experiment(GRID[label])
+    assert fingerprint(result) == PINS[label], (
+        f"cell {label} diverged from the pre-optimization pin")

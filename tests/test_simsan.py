@@ -76,14 +76,43 @@ def test_engine_clock_monotonicity_violation():
 
 
 def test_engine_heap_integrity_violation():
-    sim = Simulator(sanitize=True)
+    sim = Simulator(sanitize=True, queue="heap")
     for delay in (3.0, 1.0, 2.0):
         sim.schedule(delay, lambda: None)
-    sim._heap[0], sim._heap[-1] = sim._heap[-1], sim._heap[0]  # break heap
+    heap = sim._queue._heap
+    heap[0], heap[-1] = heap[-1], heap[0]  # break heap
     with pytest.raises(SimulationInvariantError) as exc:
         sim.sanitize_check()
     assert exc.value.invariant == "heap-integrity"
     assert {"index", "parent"} <= set(exc.value.context)
+
+
+def test_engine_bucket_integrity_violation():
+    """The calendar queue's analogue of the heap tamper test: filing an
+    entry under the wrong bucket must trip bucket-integrity."""
+    sim = Simulator(sanitize=True)
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, lambda: None)
+    queue = sim._queue
+    (idx, bucket), *_ = queue._buckets.items()
+    entry = bucket.pop()
+    wrong = idx + 5
+    queue._buckets.setdefault(wrong, []).append(entry)
+    if wrong not in queue._bucket_heap:
+        queue._bucket_heap.append(wrong)
+    with pytest.raises(SimulationInvariantError) as exc:
+        sim.sanitize_check()
+    assert exc.value.invariant == "bucket-integrity"
+
+
+def test_engine_bucket_heap_map_disagreement():
+    sim = Simulator(sanitize=True)
+    sim.schedule(1.0, lambda: None)
+    sim._queue._bucket_heap.append(999999)  # heap index with no bucket
+    with pytest.raises(SimulationInvariantError) as exc:
+        sim.sanitize_check()
+    assert exc.value.invariant == "bucket-integrity"
+    assert 999999 in exc.value.context["heap_only"]
 
 
 def test_engine_live_accounting_violation():

@@ -450,3 +450,62 @@ def test_bench_calendar_vs_heap_event_queue(benchmark):
     recorded = load_trajectory()
     assert recorded[-1]["name"] == "engine-calendar-queue"
     assert recorded[-1]["phases"]["speedup"] > 1.0
+
+
+def test_bench_reprolint_full_tree_recorded(benchmark):
+    """The whole-program analyzer over the shipped tree, phase by phase.
+
+    CI runs reprolint on every push with a 10 s wall budget; this bench
+    keeps a trajectory of where that budget goes (project load vs the
+    unit and flow analyses) so a slowdown is attributable, not just
+    detected.  The tree itself must analyze clean --- a finding here
+    means the baseline gate in the lint job is about to fail too.
+    """
+    from pathlib import Path
+
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.flows import FlowAnalysis
+    from repro.analysis.project import Project
+    from repro.analysis.units import UnitAnalysis
+    from repro.harness.profiling import (
+        TimingReport, append_trajectory, load_trajectory, perf_clock,
+    )
+
+    src = Path(__file__).resolve().parent.parent / "src"
+
+    def analyze():
+        project = Project.load([src])
+        findings = UnitAnalysis(project).run()
+        findings += FlowAnalysis(project, CallGraph(project)).run()
+        return project, findings
+
+    start = perf_clock()
+    project = Project.load([src])
+    load_s = perf_clock() - start
+
+    start = perf_clock()
+    unit_findings = UnitAnalysis(project).run()
+    units_s = perf_clock() - start
+
+    start = perf_clock()
+    graph = CallGraph(project)
+    flow_findings = FlowAnalysis(project, graph).run()
+    flows_s = perf_clock() - start
+
+    _, findings = benchmark(analyze)
+    assert findings == unit_findings + flow_findings == []
+
+    total_s = load_s + units_s + flows_s
+    assert total_s < 10.0, (
+        f"analyzer took {total_s:.2f}s; the CI budget is 10s")
+
+    report = TimingReport(name="reprolint-analyzer", jobs=1)
+    report.phases["project_load"] = load_s
+    report.phases["unit_analysis"] = units_s
+    report.phases["flow_analysis"] = flows_s
+    report.phases["total"] = total_s
+    report.phases["modules"] = float(len(project.modules))
+    append_trajectory(report)
+    recorded = load_trajectory()
+    assert recorded[-1]["name"] == "reprolint-analyzer"
+    assert recorded[-1]["phases"]["total"] < 10.0

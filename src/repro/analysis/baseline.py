@@ -1,0 +1,150 @@
+"""Checked-in finding baseline: the CI ratchet.
+
+The baseline (``.reprolint-baseline.json`` at the repo root) records
+every finding the team has explicitly accepted, so CI can fail on *new*
+findings while tolerating the audited backlog.  The semantics are a
+ratchet:
+
+* A finding whose fingerprint is in the baseline is **baselined** ---
+  reported separately, exit status stays 0.  Each entry carries an
+  occurrence ``count``; extra occurrences beyond the recorded count are
+  new findings (the backlog may shrink, never silently grow).
+* A finding not in the baseline is **new** --- exit status 1.
+* A baseline entry matching nothing in the current run is **stale**;
+  ``--update-baseline`` prunes it, so fixed findings cannot be
+  reintroduced without showing up as new.
+
+Fingerprints are content-addressed, not line-addressed:
+``sha256(code|path|message)[:16]``.  Moving a finding within its file
+(refactors above it) does not invalidate the baseline entry; changing
+the file path or the message (which embeds the offending names) does.
+Intentional exemptions get a human ``reason`` string, preserved across
+``--update-baseline`` runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import Finding
+
+#: Format marker so a future schema change can migrate old files.
+BASELINE_VERSION = 1
+
+
+def _norm_path(path: str) -> str:
+    """Stable posix-style path for fingerprinting: relative to the
+    current directory when possible (CI and dev both run from the repo
+    root), the path as given otherwise."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def fingerprint(finding: Finding) -> str:
+    """Content-addressed identity of a finding (line-number free)."""
+    payload = f"{finding.code}|{_norm_path(finding.path)}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """In-memory view of the baseline file.
+
+    ``entries`` maps fingerprint -> entry dict with keys ``code``,
+    ``path``, ``message``, ``count`` and optional ``reason``.
+    """
+
+    def __init__(self, entries: Optional[Dict[str, Dict]] = None):
+        self.entries: Dict[str, Dict] = entries if entries is not None \
+            else {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this reprolint writes version {BASELINE_VERSION}")
+        return cls(payload.get("findings", {}))
+
+    def save(self, path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {fp: self.entries[fp]
+                         for fp in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def partition(self, findings: Sequence[Finding]) -> Tuple[
+            List[Finding], List[Finding], List[str]]:
+        """Split ``findings`` into (new, baselined, stale_fingerprints).
+
+        Occurrence counting: the first ``count`` findings sharing a
+        fingerprint are baselined, the rest are new.  Stale fingerprints
+        are baseline entries no current finding matched at all.
+        """
+        remaining = {fp: int(entry.get("count", 1))
+                     for fp, entry in self.entries.items()}
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            fp = fingerprint(finding)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [fp for fp, count in sorted(remaining.items())
+                 if count == int(self.entries[fp].get("count", 1))]
+        return new, baselined, stale
+
+    def updated(self, findings: Sequence[Finding]) -> "Baseline":
+        """The ratcheted baseline for the current findings.
+
+        Entries are rebuilt from what is actually present (stale ones
+        drop out, counts shrink to the observed occurrence count) and
+        ``reason`` strings survive from the old baseline.
+        """
+        counts: Dict[str, int] = {}
+        samples: Dict[str, Finding] = {}
+        for finding in findings:
+            fp = fingerprint(finding)
+            counts[fp] = counts.get(fp, 0) + 1
+            samples.setdefault(fp, finding)
+        entries: Dict[str, Dict] = {}
+        for fp, count in counts.items():
+            sample = samples[fp]
+            entry = {
+                "code": sample.code,
+                "path": _norm_path(sample.path),
+                "message": sample.message,
+                "count": count,
+            }
+            old = self.entries.get(fp)
+            if old and old.get("reason"):
+                entry["reason"] = old["reason"]
+            entries[fp] = entry
+        return Baseline(entries)
+
+    def reason_for(self, finding: Finding) -> str:
+        entry = self.entries.get(fingerprint(finding))
+        return str(entry.get("reason", "")) if entry else ""
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = ["BASELINE_VERSION", "Baseline", "fingerprint"]

@@ -1,0 +1,380 @@
+"""The reprolint driver: one entry point over both rule layers.
+
+``run_analysis`` orchestrates
+
+1. the **per-file** AST rules (RL001-RL009, :mod:`repro.analysis.rules`)
+   over every target file,
+2. the **whole-program** analyses --- unit-dimension inference
+   (RL101-RL104, :mod:`repro.analysis.units`) and wall-clock/RNG flow
+   analysis (RL110-RL113, :mod:`repro.analysis.flows`) --- over the
+   project model built once from all target files, and
+3. **suppression accounting**: program findings honour the same
+   ``# reprolint: disable`` comments as per-file ones (looked up
+   through the module's :class:`FileContext`), and on a full run every
+   suppression that silenced nothing is reported as an unused-RL009
+   finding, so dead opt-outs cannot linger.
+
+Incremental mode (``cache_path``) persists per-file results keyed on
+``(mtime_ns, sha256)`` plus one program-level fingerprint over all
+file hashes, so a pre-commit run on an unchanged tree does no AST
+work at all.  The cache is an optimisation only: a cold, stale, or
+corrupt cache file just means a full re-analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import rules  # noqa: F401 - populates the registry
+from repro.analysis.linter import (
+    PARSE_ERROR_CODE, SUPPRESSION_HYGIENE_CODE, FileContext, Finding,
+    Suppression, _select_rules, iter_python_files, parse_suppressions,
+    suppression_covers,
+)
+
+CACHE_VERSION = 1
+
+#: Whole-program rule codes, by analysis.
+UNIT_CODES = ("RL101", "RL102", "RL103", "RL104")
+FLOW_CODES = ("RL110", "RL111", "RL112", "RL113")
+PROGRAM_CODES = UNIT_CODES + FLOW_CODES
+
+
+def program_rule_table() -> List[Tuple[str, str, str]]:
+    """(code, name, description) for the whole-program rules."""
+    from repro.analysis.flows import PROGRAM_FLOW_RULES
+    from repro.analysis.units import PROGRAM_UNIT_RULES
+    merged = {**PROGRAM_UNIT_RULES, **PROGRAM_FLOW_RULES}
+    return [(code, name, desc)
+            for code, (name, desc) in sorted(merged.items())]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced, before baselining."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    files_from_cache: int = 0
+    program_ran: bool = False
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.col, f.code)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+
+
+# ----------------------------------------------------------------------
+# Per-file unit of work (cacheable)
+# ----------------------------------------------------------------------
+@dataclass
+class _FileResult:
+    kept: List[Finding]
+    suppressed: List[Finding]
+    used_lines: List[int]
+    suppressions: List[Suppression]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kept": [f.to_dict() for f in self.kept],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "used_lines": sorted(self.used_lines),
+            "suppressions": [s.to_dict() for s in self.suppressions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "_FileResult":
+        return cls(
+            kept=_findings_from(payload.get("kept", [])),
+            suppressed=_findings_from(payload.get("suppressed", [])),
+            used_lines=[int(n) for n in payload.get("used_lines", [])],
+            suppressions=[Suppression.from_dict(d)
+                          for d in payload.get("suppressions", [])],
+        )
+
+
+def _lint_one(path: str, source: str,
+              select: Optional[Sequence[str]]) -> _FileResult:
+    """Run the per-file rules, partitioning kept vs suppressed."""
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return _FileResult(
+            kept=[Finding(PARSE_ERROR_CODE, "parse-error", str(path),
+                          exc.lineno or 0, exc.offset or 0,
+                          f"cannot parse file: {exc.msg}")],
+            suppressed=[], used_lines=[],
+            suppressions=list(parse_suppressions(source).values()))
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    used: Set[int] = set()
+    for rule in _select_rules(select):
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.code, finding.line):
+                suppressed.append(finding)
+                used.add(finding.line)
+            else:
+                kept.append(finding)
+    return _FileResult(kept=kept, suppressed=suppressed,
+                       used_lines=sorted(used),
+                       suppressions=list(ctx.suppressions.values()))
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+class _Cache:
+    """``.reprolint-cache.json``: per-file and program-level results."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.files: Dict[str, Dict] = {}
+        self.program: Dict[str, object] = {}
+        self.dirty = False
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            if payload.get("version") == CACHE_VERSION:
+                self.files = payload.get("files", {})
+                self.program = payload.get("program", {})
+        except (OSError, ValueError):
+            pass  # cold/corrupt cache: plain full run
+
+    def lookup(self, path: str, mtime_ns: int,
+               sha: Optional[str]) -> Optional[Dict]:
+        """The cached entry when it still matches the file on disk.
+
+        ``sha=None`` means the caller has not hashed the file yet and
+        only an mtime match counts; with a hash, a content match
+        revalidates the entry even after a touch.
+        """
+        entry = self.files.get(path)
+        if entry is None:
+            return None
+        if entry.get("mtime_ns") == mtime_ns:  # reprolint: disable=RL004 - exact integer os.stat key, not computed time
+            return entry
+        if sha is not None and entry.get("sha256") == sha:
+            entry["mtime_ns"] = mtime_ns  # touch-only change
+            self.dirty = True
+            return entry
+        return None
+
+    def store(self, path: str, mtime_ns: int, sha: str,
+              result: _FileResult) -> None:
+        payload = result.to_dict()
+        payload.update({"mtime_ns": mtime_ns, "sha256": sha})
+        self.files[path] = payload
+        self.dirty = True
+
+    def save(self, current_paths: Iterable[str]) -> None:
+        keep = set(current_paths)
+        stale = [p for p in self.files if p not in keep]
+        for p in stale:
+            del self.files[p]
+        if stale:
+            self.dirty = True
+        if not self.dirty:
+            return
+        payload = {"version": CACHE_VERSION, "files": self.files,
+                   "program": self.program}
+        self.path.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                             encoding="utf-8")
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _findings_from(payloads: Iterable[Dict]) -> List[Finding]:
+    return [Finding(code=d["code"], rule=d["rule"], path=d["path"],
+                    line=int(d["line"]), col=int(d["col"]),
+                    message=d["message"]) for d in payloads]
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+def _wants_program(select: Optional[Sequence[str]]) -> bool:
+    if select is None:
+        return True
+    return any(code in PROGRAM_CODES for code in select)
+
+
+def _run_program_rules(paths: Sequence,
+                       select: Optional[Sequence[str]]) -> List[Finding]:
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.flows import FlowAnalysis
+    from repro.analysis.project import Project
+    from repro.analysis.units import UnitAnalysis
+
+    wanted = None if select is None else set(select)
+    run_units = wanted is None or any(c in wanted for c in UNIT_CODES)
+    run_flows = wanted is None or any(c in wanted for c in FLOW_CODES)
+    project = Project.load(paths)
+    findings: List[Finding] = []
+    if run_units:
+        findings.extend(UnitAnalysis(project).run())
+    if run_flows:
+        findings.extend(FlowAnalysis(project, CallGraph(project)).run())
+    if wanted is not None:
+        findings = [f for f in findings if f.code in wanted]
+    return findings
+
+
+def _unused_suppression_findings(
+        per_file: Dict[str, _FileResult],
+        used_program: Dict[str, Set[int]]) -> Tuple[List[Finding],
+                                                    List[Finding]]:
+    """Synthesize RL009 findings for suppressions that silenced nothing.
+
+    Returns (kept, suppressed): an unused-suppression finding whose
+    comment explicitly lists RL009 is itself suppressed (the sanctioned
+    opt-out), everything else is reported.
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for path, result in per_file.items():
+        used = set(result.used_lines) | used_program.get(path, set())
+        reasonless = {f.line for f in result.kept + result.suppressed
+                      if f.code == SUPPRESSION_HYGIENE_CODE}
+        for sup in result.suppressions:
+            if sup.line in used:
+                continue
+            if sup.line in reasonless:
+                continue  # already flagged for the missing reason
+            what = "blanket suppression" if sup.codes is None else \
+                f"suppression of {', '.join(sorted(sup.codes))}"
+            finding = Finding(
+                SUPPRESSION_HYGIENE_CODE, "suppression-hygiene", path,
+                sup.line, sup.col,
+                f"unused {what}: no finding on this line needs it; "
+                f"remove the disable comment")
+            if sup.codes is not None and \
+                    SUPPRESSION_HYGIENE_CODE in sup.codes:
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_analysis(paths: Sequence,
+                 select: Optional[Sequence[str]] = None,
+                 cache_path=None) -> AnalysisResult:
+    """Analyze ``paths`` with both rule layers; see the module docstring.
+
+    ``select`` restricts the run to the listed codes (per-file and/or
+    program); unused-suppression detection only happens on unrestricted
+    runs, where "nothing needed this suppression" is actually known.
+    """
+    result = AnalysisResult()
+    # The cache only describes unrestricted runs; a --select run with a
+    # cache would poison (or be poisoned by) full-run entries.
+    cache = _Cache(cache_path) \
+        if cache_path is not None and select is None else None
+
+    files = [str(p) for p in iter_python_files(paths)]
+    per_file: Dict[str, _FileResult] = {}
+    hashes: Dict[str, str] = {}
+    for path in files:
+        entry = None
+        mtime_ns = 0
+        if cache is not None:
+            try:
+                mtime_ns = os.stat(path).st_mtime_ns
+            except OSError:
+                mtime_ns = 0
+            entry = cache.lookup(path, mtime_ns, None)
+        if entry is not None:
+            hashes[path] = str(entry["sha256"])
+            per_file[path] = _FileResult.from_dict(entry)
+            result.files_from_cache += 1
+            continue
+        data = Path(path).read_bytes()
+        sha = _sha256(data)
+        hashes[path] = sha
+        if cache is not None:
+            entry = cache.lookup(path, mtime_ns, sha)
+            if entry is not None:
+                per_file[path] = _FileResult.from_dict(entry)
+                result.files_from_cache += 1
+                continue
+        file_result = _lint_one(path, data.decode("utf-8"), select)
+        per_file[path] = file_result
+        if cache is not None:
+            cache.store(path, mtime_ns, sha, file_result)
+    result.files_checked = len(files)
+
+    for file_result in per_file.values():
+        result.findings.extend(file_result.kept)
+        result.suppressed.extend(file_result.suppressed)
+
+    # ------------------------------------------------------------------
+    # Whole-program layer
+    # ------------------------------------------------------------------
+    used_program: Dict[str, Set[int]] = {}
+    if _wants_program(select):
+        fingerprint = _sha256("\n".join(
+            f"{p}:{hashes[p]}" for p in sorted(hashes)).encode("utf-8"))
+        if cache is not None and \
+                cache.program.get("fingerprint") == fingerprint:
+            cached = cache.program
+            program_findings = _findings_from(cached.get("findings", []))
+            program_suppressed = _findings_from(
+                cached.get("suppressed", []))
+            used_program = {p: set(lines) for p, lines in
+                            cached.get("used_lines", {}).items()}
+        else:
+            raw = _run_program_rules(paths, select)
+            # Program findings honour per-file disable comments.
+            program_findings = []
+            program_suppressed = []
+            suppressions = {
+                path: {s.line: s for s in file_result.suppressions}
+                for path, file_result in per_file.items()}
+            for finding in raw:
+                sup = suppressions.get(finding.path, {}) \
+                    .get(finding.line)
+                if sup is not None and \
+                        suppression_covers(sup, finding.code):
+                    program_suppressed.append(finding)
+                    used_program.setdefault(finding.path,
+                                            set()).add(finding.line)
+                else:
+                    program_findings.append(finding)
+            if cache is not None:
+                cache.program = {
+                    "fingerprint": fingerprint,
+                    "findings": [f.to_dict()
+                                 for f in program_findings],
+                    "suppressed": [f.to_dict()
+                                   for f in program_suppressed],
+                    "used_lines": {p: sorted(lines) for p, lines
+                                   in used_program.items()},
+                }
+                cache.dirty = True
+        result.findings.extend(program_findings)
+        result.suppressed.extend(program_suppressed)
+        result.program_ran = True
+
+    # ------------------------------------------------------------------
+    # Unused suppressions (full runs only)
+    # ------------------------------------------------------------------
+    if select is None and result.program_ran:
+        unused_kept, unused_suppressed = _unused_suppression_findings(
+            per_file, used_program)
+        result.findings.extend(unused_kept)
+        result.suppressed.extend(unused_suppressed)
+
+    if cache is not None:
+        cache.save(files)
+    result.sort()
+    return result
+
+
+__all__ = ["AnalysisResult", "FLOW_CODES", "PROGRAM_CODES", "UNIT_CODES",
+           "program_rule_table", "run_analysis"]

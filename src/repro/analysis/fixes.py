@@ -1,0 +1,156 @@
+"""``--fix``: mechanical autofixes for a safe subset of findings.
+
+Only fixes whose rewrite is semantically forced are automated:
+
+* **RL003** (set iteration) --- wrap the flagged iterable in
+  ``sorted(...)``.  The rule anchors its finding at the iterable
+  expression node, so the fixer re-parses the file, finds the set
+  expression at exactly that position, and splices ``sorted(`` / ``)``
+  around its source span.  Sorting is the rule's own suggested rewrite;
+  element order becomes deterministic and every downstream consumer
+  already accepts a list.
+* **Unused suppressions** (the driver-synthesized RL009 variant) ---
+  delete the ``# reprolint: disable`` comment; by construction it
+  silences nothing.
+
+The *missing-reason* RL009 variant is deliberately not fixable: the
+reason is the point, and only a human can write it.
+
+``apply_fixes`` never touches a file whose finding cannot be re-located
+in the current source (stale findings after an edit race just drop
+out), and applies edits bottom-up so earlier spans stay valid.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.linter import SUPPRESSION_HYGIENE_CODE, Finding
+from repro.analysis.rules import _is_set_expr
+
+#: (start_offset, end_offset, replacement) --- replace source[start:end].
+_Edit = Tuple[int, int, str]
+
+
+def _line_starts(source: str) -> List[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _offset(starts: List[int], line: int, col: int) -> Optional[int]:
+    if not (1 <= line < len(starts) + 1):
+        return None
+    return starts[line - 1] + col
+
+
+def _rl003_edits(source: str, tree: ast.Module,
+                 findings: Sequence[Finding]) -> List[Tuple[_Edit, str]]:
+    """sorted(...) wraps for RL003 findings located in this source."""
+    wanted = {(f.line, f.col) for f in findings}
+    starts = _line_starts(source)
+    edits: List[Tuple[_Edit, str]] = []
+    for node in ast.walk(tree):
+        pos = (getattr(node, "lineno", None),
+               getattr(node, "col_offset", None))
+        if pos not in wanted or not _is_set_expr(node):
+            continue
+        begin = _offset(starts, node.lineno, node.col_offset)
+        end = _offset(starts, node.end_lineno, node.end_col_offset)
+        if begin is None or end is None or end <= begin:
+            continue
+        label = (f"{node.lineno}:{node.col_offset + 1}: wrapped set "
+                 f"iterable in sorted(...)")
+        # Two splices forming one wrap; recorded as separate edits so
+        # the bottom-up application order handles them naturally.
+        edits.append(((end, end, ")"), label))
+        edits.append(((begin, begin, "sorted("), ""))
+        wanted.discard(pos)  # one wrap per location
+    return edits
+
+
+def _unused_suppression_edits(
+        source: str,
+        findings: Sequence[Finding]) -> List[Tuple[_Edit, str]]:
+    """Comment deletions for driver-synthesized unused-RL009 findings."""
+    starts = _line_starts(source)
+    lines = source.splitlines(keepends=True)
+    edits: List[Tuple[_Edit, str]] = []
+    for finding in findings:
+        if not (1 <= finding.line <= len(lines)):
+            continue
+        text = lines[finding.line - 1]
+        bare = text.rstrip("\r\n")
+        if finding.col >= len(bare) or \
+                not bare[finding.col:].startswith("#"):
+            continue  # source moved since the analysis ran
+        begin = _offset(starts, finding.line, finding.col)
+        # Eat the indentation left of the comment too; a comment-only
+        # line collapses to an empty line rather than trailing spaces.
+        while begin > starts[finding.line - 1] and \
+                source[begin - 1] in " \t":
+            begin -= 1
+        end = starts[finding.line - 1] + len(bare)
+        edits.append(((begin, end, ""),
+                      f"{finding.line}:{finding.col + 1}: removed "
+                      f"unused suppression comment"))
+    return edits
+
+
+def _is_unused_suppression(finding: Finding) -> bool:
+    return finding.code == SUPPRESSION_HYGIENE_CODE and \
+        finding.message.startswith("unused ")
+
+
+def fix_source(source: str,
+               findings: Sequence[Finding]) -> Tuple[str, List[str]]:
+    """Apply every automatable fix to one source string.
+
+    Returns ``(new_source, descriptions)``; the source is unchanged
+    when nothing was fixable.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, []
+    edits: List[Tuple[_Edit, str]] = []
+    edits.extend(_rl003_edits(
+        source, tree, [f for f in findings if f.code == "RL003"]))
+    edits.extend(_unused_suppression_edits(
+        source, [f for f in findings if _is_unused_suppression(f)]))
+    if not edits:
+        return source, []
+    descriptions = [label for _, label in edits if label]
+    for (begin, end, replacement), _ in sorted(
+            edits, key=lambda e: e[0][0], reverse=True):
+        source = source[:begin] + replacement + source[end:]
+    return source, sorted(descriptions)
+
+
+def apply_fixes(findings: Sequence[Finding]) -> Dict[str, List[str]]:
+    """Fix what can be fixed, in place, file by file.
+
+    Returns path -> list of human-readable fix descriptions for every
+    file that changed.
+    """
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    applied: Dict[str, List[str]] = {}
+    for path, file_findings in sorted(by_path.items()):
+        target = Path(path)
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        fixed, descriptions = fix_source(source, file_findings)
+        if descriptions and fixed != source:
+            target.write_text(fixed, encoding="utf-8")
+            applied[path] = descriptions
+    return applied
+
+
+__all__ = ["apply_fixes", "fix_source"]

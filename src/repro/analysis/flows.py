@@ -1,0 +1,473 @@
+"""Flow analyses: wall-clock taint and RNG stream lineage.
+
+Two families of whole-program rules ride on the call graph:
+
+**Wall-clock taint (RL110).**  Per-file rule RL001 catches a *direct*
+host-clock read outside the sanctioned ``harness.profiling`` helpers.
+This analysis closes the indirect hole: a simulation-state function
+(``sim/``, ``core/``, ``cpu/``, ``db/``, ``workloads/``, ``governors/``,
+``metrics/``, ``obs/``, ``faults/``) that *reaches* a clock read
+through any unambiguous call chain --- including through the sanctioned
+helpers themselves --- makes simulated results depend on host timing,
+which breaks run-to-run byte identity and poisons the sweep cache.
+
+**RNG stream lineage (RL111-RL113).**  The determinism contract says
+one named stream per stochastic concern (:mod:`repro.sim.rng`):
+
+========  =============================================================
+RL111     Shared-stream aliasing: the same literal stream name
+          requested from two different modules couples their draw
+          sequences --- adding a draw in one silently perturbs the
+          other (variance isolation is lost).
+RL112     RNG draw inside iteration over a ``set``: draw *order*
+          follows hash order, so the stream's assignment of values to
+          items varies with PYTHONHASHSEED even if the totals match.
+RL113     Sequence-forking API (``getrandbits``/``randrange``/
+          ``shuffle``/``sample``/``getstate``...) reachable on a value
+          created by ``get_batched()``/``BatchedStream``: the batched
+          stream serves pre-drawn blocks, so these calls would bypass
+          the blocks and fork the sequence.  BatchedStream raises at
+          runtime; this finds the path before a run does.
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, iter_calls
+from repro.analysis.linter import Finding
+from repro.analysis.project import (
+    ClassInfo, FunctionInfo, ModuleInfo, Project,
+)
+from repro.analysis.rules import WALL_CLOCK_FQNS
+
+PROGRAM_FLOW_RULES: Dict[str, Tuple[str, str]] = {
+    "RL110": ("wall-clock-taint",
+              "simulation-state function reaches a host-clock read "
+              "through its call chain"),
+    "RL111": ("shared-stream",
+              "the same literal RNG stream name is requested from "
+              "multiple modules (draw sequences couple)"),
+    "RL112": ("draw-in-set-iteration",
+              "RNG draw inside iteration over a set: draw order "
+              "follows hash order"),
+    "RL113": ("batched-stream-fork",
+              "sequence-forking RNG API used on a BatchedStream value"),
+}
+
+#: Directories whose functions must never see host time.
+SIM_STATE_DIRS = ("sim", "core", "governors", "cpu", "db", "workloads",
+                  "metrics", "obs", "faults")
+
+#: Receiver names that identify a RandomStreams registry.
+_STREAMS_NAMES = frozenset({
+    "streams", "_streams", "rng_streams", "random_streams", "rngs",
+})
+
+#: Methods that consume Mersenne-Twister words directly instead of
+#: going through ``random()`` --- forbidden on a BatchedStream.
+FORKING_METHODS = frozenset({
+    "getrandbits", "randrange", "randint", "choice", "shuffle",
+    "sample", "randbytes", "getstate", "setstate", "seed",
+})
+
+#: Distinctive draw methods (safe to match on any receiver) vs generic
+#: ones (matched only on an rng-looking receiver).
+_DISTINCT_DRAWS = frozenset({
+    "expovariate", "normalvariate", "lognormvariate", "gauss",
+    "betavariate", "gammavariate", "paretovariate", "weibullvariate",
+    "vonmisesvariate", "triangular", "binomialvariate",
+})
+_GENERIC_DRAWS = frozenset({
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "getrandbits",
+})
+
+
+def _receiver_text(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _looks_like_rng(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(tag in lowered for tag in ("rng", "random", "stream"))
+
+
+class FlowAnalysis:
+    """Runs RL110-RL113 over a project and its call graph."""
+
+    def __init__(self, project: Project,
+                 callgraph: Optional[CallGraph] = None):
+        self.project = project
+        self.callgraph = callgraph or CallGraph(project)
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        self.findings = []
+        self._check_wall_clock_taint()
+        self._check_shared_streams()
+        self._check_draws_in_set_iteration()
+        self._check_batched_forks()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return self.findings
+
+    def _flag(self, code: str, module: ModuleInfo, node: ast.AST,
+              message: str) -> None:
+        name, _ = PROGRAM_FLOW_RULES[code]
+        self.findings.append(Finding(
+            code, name, module.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0), message))
+
+    # ------------------------------------------------------------------
+    # RL110 --- wall-clock taint
+    # ------------------------------------------------------------------
+    def _direct_clock_readers(self) -> Set[str]:
+        readers: Set[str] = set()
+        for module in self.project.modules.values():
+            for owner, call, _ in iter_calls(self.project, module):
+                if owner is None:
+                    continue
+                fqn = module.ctx.resolve_dotted(call.func)
+                if fqn is None and isinstance(call.func, ast.Name):
+                    fqn = module.ctx.imported_names.get(call.func.id)
+                if fqn in WALL_CLOCK_FQNS:
+                    readers.add(owner.qualname)
+        return readers
+
+    def _check_wall_clock_taint(self) -> None:
+        sources = self._direct_clock_readers()
+        if not sources:
+            return
+        tainted = self.callgraph.can_reach(sources)
+        for module in self.project.modules.values():
+            if not module.ctx.in_dirs(SIM_STATE_DIRS):
+                continue
+            for owner, call, _ in iter_calls(self.project, module):
+                if owner is None or owner.qualname in sources:
+                    continue  # direct reads are RL001's finding
+                for site in self.callgraph.calls_from.get(
+                        owner.qualname, ()):
+                    if site.line != getattr(call, "lineno", -1) or \
+                            site.col != getattr(call, "col_offset", -1):
+                        continue
+                    if site.ambiguous or site.callee not in tainted:
+                        continue
+                    path = self.callgraph.shortest_path(
+                        site.callee, sources) or [site.callee]
+                    chain = " -> ".join(p.split(".")[-1] for p in path)
+                    self._flag(
+                        "RL110", module, call,
+                        f"`{owner.qualname}` reaches a host-clock read "
+                        f"via {chain}; simulation state must only see "
+                        f"the virtual clock")
+                    break
+
+    # ------------------------------------------------------------------
+    # RL111 --- shared literal stream names across modules
+    # ------------------------------------------------------------------
+    def _iter_owned_stmts(self, module: ModuleInfo) -> Iterator[
+            Tuple[Optional[str], ast.AST]]:
+        """Every AST node paired with the qualname of its innermost
+        *indexed* enclosing function (same attribution as
+        :func:`iter_calls`: nested defs belong to their outer def)."""
+        def walk(node: ast.AST, owner: Optional[str], cls: Optional[str]):
+            for child in ast.iter_child_nodes(node):
+                next_owner, next_cls = owner, cls
+                if isinstance(child, ast.ClassDef):
+                    next_cls, next_owner = child.name, None
+                elif isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                    qual = f"{module.name}.{cls}.{child.name}" \
+                        if cls else f"{module.name}.{child.name}"
+                    if qual in self.project.functions:
+                        next_owner = qual
+                yield owner, child
+                yield from walk(child, next_owner, next_cls)
+
+        yield from walk(module.tree, None, None)
+
+    def _spawned_locals(self, module: ModuleInfo) -> Set[Tuple[
+            Optional[str], str]]:
+        """``(function qualname | None, local name)`` pairs bound from a
+        ``*.spawn(...)`` call: a spawned child registry derives a fresh
+        seed family, so its stream names never alias another module's.
+        Plain name aliases and closure default-argument bindings
+        (``def cb(..., _streams=streams)``) keep the mark."""
+        spawned: Set[Tuple[Optional[str], str]] = set()
+        owned = list(self._iter_owned_stmts(module))
+        for _ in range(4):
+            added = False
+            for owner, node in owned:
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                    from_spawn = (isinstance(value, ast.Call)
+                                  and isinstance(value.func, ast.Attribute)
+                                  and value.func.attr == "spawn")
+                    aliased = (isinstance(value, ast.Name)
+                               and (owner, value.id) in spawned)
+                    if from_spawn or aliased:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name) and \
+                                    (owner, target.id) not in spawned:
+                                spawned.add((owner, target.id))
+                                added = True
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    args = node.args
+                    positional = args.posonlyargs + args.args
+                    for arg, default in zip(
+                            positional[len(positional)
+                                       - len(args.defaults):],
+                            args.defaults):
+                        if isinstance(default, ast.Name) and \
+                                (owner, default.id) in spawned and \
+                                (owner, arg.arg) not in spawned:
+                            spawned.add((owner, arg.arg))
+                            added = True
+            if not added:
+                break
+        return spawned
+
+    def _iter_stream_requests(self) -> Iterator[
+            Tuple[ModuleInfo, ast.Call, str, str]]:
+        """Yield ``(module, call, method, stream_name)`` for literal
+        ``<streams>.get/get_batched("name")`` requests on non-spawned
+        registries."""
+        for module in self.project.modules.values():
+            spawned = self._spawned_locals(module)
+            for owner, call, _ in iter_calls(self.project, module):
+                func = call.func
+                if not isinstance(func, ast.Attribute) or \
+                        func.attr not in ("get", "get_batched"):
+                    continue
+                receiver = _receiver_text(func.value)
+                if receiver not in _STREAMS_NAMES:
+                    continue
+                key = (owner.qualname if owner else None, receiver)
+                if key in spawned:
+                    continue
+                if not call.args or not isinstance(
+                        call.args[0], ast.Constant) or not isinstance(
+                        call.args[0].value, str):
+                    continue
+                yield module, call, func.attr, call.args[0].value
+
+    def _check_shared_streams(self) -> None:
+        by_name: Dict[str, List[Tuple[ModuleInfo, ast.Call, str]]] = {}
+        for module, call, method, stream in self._iter_stream_requests():
+            by_name.setdefault(stream, []).append((module, call, method))
+        for stream in sorted(by_name):
+            sites = by_name[stream]
+            modules = sorted({m.name for m, _, _ in sites})
+            if len(modules) < 2:
+                continue
+            for module, call, method in sites:
+                others = [m for m in modules if m != module.name]
+                self._flag(
+                    "RL111", module, call,
+                    f"stream {stream!r} ({method}) is also requested "
+                    f"from {', '.join(others)}; shared streams couple "
+                    f"draw sequences across components -- derive a "
+                    f"distinct name or spawn() a child registry")
+
+    # ------------------------------------------------------------------
+    # RL112 --- draws inside set iteration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Name) and \
+            node.func.id in ("set", "frozenset")
+
+    def _check_draws_in_set_iteration(self) -> None:
+        for module in self.project.modules.values():
+            for node in ast.walk(module.tree):
+                bodies: List[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)) and \
+                        self._is_set_expr(node.iter):
+                    bodies.extend(node.body)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    if any(self._is_set_expr(gen.iter)
+                           for gen in node.generators):
+                        if isinstance(node, ast.DictComp):
+                            bodies.extend([node.key, node.value])
+                        else:
+                            bodies.append(node.elt)
+                for body in bodies:
+                    for inner in ast.walk(body):
+                        if self._is_draw_call(inner):
+                            self._flag(
+                                "RL112", module, inner,
+                                "RNG draw inside iteration over a set: "
+                                "the value each element receives "
+                                "depends on hash order; iterate "
+                                "sorted(...) so draws bind "
+                                "deterministically")
+
+    @staticmethod
+    def _is_draw_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call) or \
+                not isinstance(node.func, ast.Attribute):
+            return False
+        method = node.func.attr
+        if method in _DISTINCT_DRAWS:
+            return True
+        if method in _GENERIC_DRAWS:
+            return _looks_like_rng(_receiver_text(node.func.value))
+        return False
+
+    # ------------------------------------------------------------------
+    # RL113 --- forking APIs on BatchedStream values
+    # ------------------------------------------------------------------
+    def _check_batched_forks(self) -> None:
+        # Fixpoint state, all keyed by qualnames.
+        batched_params: Dict[str, Set[str]] = {}
+        batched_attrs: Dict[str, Set[str]] = {}   # class qualname -> attrs
+        returns_batched: Set[str] = set()
+
+        def is_batched_expr(module: ModuleInfo, func: FunctionInfo,
+                            enclosing: Optional[ClassInfo],
+                            env: Set[str], node: ast.AST) -> bool:
+            if isinstance(node, ast.Name):
+                if node.id in env:
+                    return True
+                return node.id in batched_params.get(func.qualname,
+                                                     set())
+            if isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and \
+                        node.value.id == "self" and enclosing is not None:
+                    return node.attr in batched_attrs.get(
+                        enclosing.qualname, set())
+                return False
+            if isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and \
+                        f.attr == "get_batched":
+                    return True
+                name = self.project.resolve_expr(module, f)
+                if name is not None and \
+                        name.endswith(".BatchedStream"):
+                    return True
+                if isinstance(f, ast.Name) and f.id == "BatchedStream":
+                    return True
+                targets = self.project.function_for_call(
+                    module, node, enclosing_class=enclosing)
+                return len(targets) == 1 and \
+                    targets[0].qualname in returns_batched
+            return False
+
+        def sweep(collect: bool) -> bool:
+            changed = False
+            for module in self.project.modules.values():
+                for owner_func, enclosing in self._iter_funcs(module):
+                    env: Set[str] = set()
+                    for stmt in ast.walk(owner_func.node):
+                        if isinstance(stmt, ast.Assign) and \
+                                is_batched_expr(module, owner_func,
+                                                enclosing, env,
+                                                stmt.value):
+                            for target in stmt.targets:
+                                if isinstance(target, ast.Name):
+                                    if target.id not in env:
+                                        env.add(target.id)
+                                elif isinstance(target, ast.Attribute) \
+                                        and isinstance(target.value,
+                                                       ast.Name) \
+                                        and target.value.id == "self" \
+                                        and enclosing is not None:
+                                    attrs = batched_attrs.setdefault(
+                                        enclosing.qualname, set())
+                                    if target.attr not in attrs:
+                                        attrs.add(target.attr)
+                                        changed = True
+                        elif isinstance(stmt, ast.Return) and \
+                                stmt.value is not None and \
+                                is_batched_expr(module, owner_func,
+                                                enclosing, env,
+                                                stmt.value):
+                            if owner_func.qualname not in returns_batched:
+                                returns_batched.add(owner_func.qualname)
+                                changed = True
+                    # Re-walk for calls with the final env.
+                    for node in ast.walk(owner_func.node):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        func = node.func
+                        if isinstance(func, ast.Attribute) and \
+                                func.attr in FORKING_METHODS and \
+                                is_batched_expr(module, owner_func,
+                                                enclosing, env,
+                                                func.value):
+                            if collect:
+                                self._flag(
+                                    "RL113", module, node,
+                                    f"`{func.attr}()` on a "
+                                    f"BatchedStream value: it bypasses "
+                                    f"the pre-drawn blocks and forks "
+                                    f"the draw sequence (raises at "
+                                    f"runtime); use an unbatched "
+                                    f"stream for this draw")
+                            continue
+                        targets = self.project.function_for_call(
+                            module, node, enclosing_class=enclosing)
+                        if len(targets) != 1 or \
+                                any(isinstance(a, ast.Starred)
+                                    for a in node.args):
+                            continue
+                        target = targets[0]
+                        params = target.params
+                        for i, arg in enumerate(node.args):
+                            if i < len(params) and is_batched_expr(
+                                    module, owner_func, enclosing, env,
+                                    arg):
+                                marked = batched_params.setdefault(
+                                    target.qualname, set())
+                                if params[i] not in marked:
+                                    marked.add(params[i])
+                                    changed = True
+                        for kw in node.keywords:
+                            if kw.arg is not None and is_batched_expr(
+                                    module, owner_func, enclosing, env,
+                                    kw.value):
+                                marked = batched_params.setdefault(
+                                    target.qualname, set())
+                                if kw.arg not in marked:
+                                    marked.add(kw.arg)
+                                    changed = True
+            return changed
+
+        for _ in range(8):
+            if not sweep(collect=False):
+                break
+        sweep(collect=True)
+        # One param flagged in multiple fixpoint rounds could duplicate;
+        # final collect runs once, so findings are already unique.
+
+    def _iter_funcs(self, module: ModuleInfo) -> Iterator[
+            Tuple[FunctionInfo, Optional[ClassInfo]]]:
+        for func in self.project.functions.values():
+            if func.module != module.name:
+                continue
+            enclosing = None
+            if func.class_name is not None:
+                enclosing = self.project.classes.get(
+                    f"{module.name}.{func.class_name}")
+            yield func, enclosing
+
+
+__all__ = [
+    "FORKING_METHODS", "FlowAnalysis", "PROGRAM_FLOW_RULES",
+    "SIM_STATE_DIRS",
+]

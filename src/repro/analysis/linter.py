@@ -17,8 +17,9 @@ A finding is suppressed by a trailing comment on the *flagged line*::
 
 ``disable=RL001,RL004`` suppresses several codes at once and a bare
 ``# reprolint: disable`` (no codes) suppresses every rule on that line.
-Suppressions are expected to carry a reason after the code list; the
-linter does not enforce the reason, reviewers do.
+Suppressions must carry a reason after the code list: since v2 the
+RL009 hygiene rule flags reasonless comments, and the driver reports
+suppressions that silenced nothing as unused.
 
 Paths
 -----
@@ -32,21 +33,34 @@ linter stays usable on scratch files and test fixtures.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
-    Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type,
+    Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type,
 )
 
-#: ``# reprolint: disable`` / ``# reprolint: disable=RL001,RL002 - reason``
+#: A suppression comment: ``reprolint: disable`` optionally followed
+#: by ``=CODE,...`` and ``- reason``.  Matched against *comment tokens*
+#: (see :func:`parse_suppressions`) and anchored at the comment start,
+#: so prose that merely mentions the syntax (docstrings, ``#:`` doc
+#: comments like this one) never parses as a suppression.
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]*?))?"
-    r"(?:\s*-.*)?$")
+    r"(?:\s*-\s*(?P<reason>\S.*))?$")
 
 #: Finding code used when a file cannot be parsed at all.
 PARSE_ERROR_CODE = "RL000"
+
+#: Suppression-hygiene rule code: comments without a reason, and
+#: suppressions that silence nothing, are findings themselves.  The
+#: code is special-cased in :meth:`FileContext.is_suppressed` --- a
+#: blanket or reasonless comment cannot silence the finding *about*
+#: that comment; only an explicit ``disable=RL009`` listing can.
+SUPPRESSION_HYGIENE_CODE = "RL009"
 
 
 @dataclass(frozen=True)
@@ -70,20 +84,83 @@ class Finding:
         }
 
 
-def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map line number -> suppressed codes (``None`` = all codes)."""
-    suppressions: Dict[int, Optional[Set[str]]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: disable`` comment."""
+
+    line: int
+    col: int                       #: column where the comment starts
+    codes: Optional[frozenset]     #: ``None`` = blanket (all codes)
+    reason: str                    #: "" when no ``- reason`` was given
+
+    def covers(self, code: str) -> bool:
+        return self.codes is None or code in self.codes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col,
+                "codes": sorted(self.codes) if self.codes is not None
+                else None,
+                "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Suppression":
+        codes = payload.get("codes")
+        return cls(line=int(payload["line"]), col=int(payload["col"]),
+                   codes=frozenset(codes) if codes is not None else None,
+                   reason=str(payload.get("reason", "")))
+
+
+def suppression_covers(suppression: Suppression, code: str) -> bool:
+    """Whether one disable comment silences ``code`` --- with the RL009
+    special case: the hygiene finding about a comment is silenced only
+    by an *explicit* RL009 listing, never by the blanket form it is
+    complaining about."""
+    if code == SUPPRESSION_HYGIENE_CODE:
+        return suppression.codes is not None and \
+            code in suppression.codes
+    return suppression.covers(code)
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number -> the suppression comment on that line.
+
+    Comments are found by tokenizing, not by grepping lines, so a
+    docstring showing the ``# reprolint: disable`` syntax is not a
+    suppression; and the pattern must start the comment, so a doc
+    comment mentioning it mid-text is not one either.  When the file
+    does not tokenize (the per-file linter reports RL000 for it) the
+    line-grep fallback keeps suppression data available.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    for lineno, col, text in _iter_comments(source):
+        match = _SUPPRESS_RE.match(text)
         if match is None:
             continue
         codes = match.group("codes")
-        if codes is None or not codes.strip():
-            suppressions[lineno] = None  # blanket suppression
-        else:
-            suppressions[lineno] = {
-                c.strip().upper() for c in codes.split(",") if c.strip()}
+        reason = match.group("reason") or ""
+        parsed: Optional[frozenset] = None
+        if codes is not None and codes.strip():
+            parsed = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip())
+        suppressions[lineno] = Suppression(
+            line=lineno, col=col, codes=parsed, reason=reason.strip())
     return suppressions
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, text) for every comment token in ``source``."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable file: fall back to grepping raw lines so the
+        # suppression table still exists alongside the RL000 finding.
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            hash_at = text.find("#")
+            if hash_at >= 0:
+                yield lineno, hash_at, text[hash_at:]
 
 
 class FileContext:
@@ -116,7 +193,7 @@ class FileContext:
             self.rel = "/".join(parts[anchor + 1:])
         else:
             self.rel = Path(self.path).name
-        self.suppressions = _parse_suppressions(source)
+        self.suppressions = parse_suppressions(source)
         self.module_aliases: Dict[str, str] = {}
         self.imported_names: Dict[str, str] = {}
         for node in ast.walk(self.tree):
@@ -137,10 +214,10 @@ class FileContext:
         return head in set(dirs)
 
     def is_suppressed(self, code: str, line: int) -> bool:
-        if line not in self.suppressions:
+        suppression = self.suppressions.get(line)
+        if suppression is None:
             return False
-        codes = self.suppressions[line]
-        return codes is None or code in codes
+        return suppression_covers(suppression, code)
 
     def resolve_dotted(self, node: ast.AST) -> Optional[str]:
         """Fully-qualify a ``Name``/``Attribute`` chain through imports.
@@ -298,6 +375,8 @@ def _count_by_code(findings: Sequence[Finding]) -> Dict[str, int]:
 
 __all__ = [
     "FileContext", "Finding", "LintRule", "PARSE_ERROR_CODE",
-    "RULE_REGISTRY", "iter_python_files", "lint_file", "lint_paths",
-    "lint_source", "register", "render_json", "render_text",
+    "RULE_REGISTRY", "SUPPRESSION_HYGIENE_CODE", "Suppression",
+    "iter_python_files", "lint_file", "lint_paths", "lint_source",
+    "parse_suppressions", "register", "render_json", "render_text",
+    "suppression_covers",
 ]

@@ -1,0 +1,402 @@
+"""Whole-program project model: modules, symbols, import resolution.
+
+reprolint v1 ran every rule over one file at a time, so a rule could
+never see that ``cpu/msr.py`` passes a microsecond value into a
+``cpu/core.py`` parameter declared in seconds.  This module builds the
+shared substrate the whole-program analyses (:mod:`~repro.analysis.
+callgraph`, :mod:`~repro.analysis.units`, :mod:`~repro.analysis.flows`)
+work on:
+
+* a **module index** mapping dotted module names
+  (``repro.cpu.core``) to parsed files,
+* a **symbol table** of every top-level function, class, and method
+  with stable qualified names (``repro.cpu.core.Core.set_frequency``),
+* **import resolution** from local names to project symbols, so a call
+  expression in one module can be resolved to the function object it
+  lands on in another.
+
+The model is deliberately syntactic --- no imports are executed, the
+project is never run.  Everything is derived from the ASTs that
+:class:`repro.analysis.linter.FileContext` already parses, so the
+per-file rules and the whole-program analyses agree byte-for-byte on
+source positions and suppression comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import ast
+
+from repro.analysis.linter import FileContext, iter_python_files
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str                 #: ``repro.cpu.core.Core.set_frequency``
+    module: str                   #: ``repro.cpu.core``
+    name: str                     #: ``set_frequency``
+    node: ast.AST                 #: the FunctionDef / AsyncFunctionDef
+    class_name: Optional[str] = None   #: enclosing class, if a method
+    is_method: bool = False
+    is_static: bool = False
+    is_property: bool = False
+
+    @property
+    def params(self) -> List[str]:
+        """Positional parameter names, ``self``/``cls`` stripped."""
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if self.is_method and not self.is_static and names:
+            names = names[1:]
+        return names
+
+    @property
+    def kwonly_params(self) -> List[str]:
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+    @property
+    def all_params(self) -> List[str]:
+        return self.params + self.kwonly_params
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with its methods and project base classes."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Qualnames of base classes *resolved within the project*; external
+    #: bases (``random.Random``) are kept as their dotted text.
+    bases: List[str] = field(default_factory=list)
+
+    def method(self, name: str,
+               project: "Project") -> Optional[FunctionInfo]:
+        """Look ``name`` up through this class and its project bases."""
+        seen = set()
+        stack = [self.qualname]
+        while stack:
+            qualname = stack.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            cls = project.classes.get(qualname)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name]
+            stack.extend(cls.bases)
+        return None
+
+
+class ModuleInfo:
+    """One parsed source file plus its name bindings.
+
+    ``bindings`` maps every local (module-level) name to the dotted
+    thing it refers to: its own definitions, ``import`` aliases, and
+    ``from``-imports, with relative imports resolved against the module
+    package.  Resolution through ``bindings`` is how cross-module
+    references become project symbols.
+    """
+
+    def __init__(self, name: str, path: str, ctx: FileContext):
+        self.name = name
+        self.path = path
+        self.ctx = ctx
+        self.tree = ctx.tree
+        self.is_package = Path(path).name == "__init__.py"
+        #: local name -> dotted target (module or module.attr)
+        self.bindings: Dict[str, str] = {}
+        self._collect_bindings()
+
+    # ------------------------------------------------------------------
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+    def _collect_bindings(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.bindings[alias.asname or
+                                  alias.name.split(".")[0]] = \
+                        alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    if alias.asname:
+                        self.bindings[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.bindings[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+        # Also pick up imports made inside functions (lazy imports are
+        # common in the CLI paths); later bindings never shadow
+        # module-level ones.
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node not in self.tree.body:
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.bindings.setdefault(
+                        alias.asname or alias.name, f"{base}.{alias.name}")
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: climb ``level`` packages up from here.
+        parts = self.package.split(".") if self.package else []
+        climb = node.level - 1
+        if climb > len(parts):
+            return None
+        base_parts = parts[:len(parts) - climb] if climb else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+
+class Project:
+    """The whole-program model over a set of source files.
+
+    >>> import textwrap, tempfile, os
+    >>> root = tempfile.mkdtemp()
+    >>> pkg = os.path.join(root, "repro"); os.makedirs(pkg)
+    >>> _ = open(os.path.join(pkg, "__init__.py"), "w")
+    >>> with open(os.path.join(pkg, "a.py"), "w") as f:
+    ...     _ = f.write("def helper_s(x_s):\\n    return x_s\\n")
+    >>> project = Project.load([pkg])
+    >>> sorted(project.modules)
+    ['repro', 'repro.a']
+    >>> project.functions["repro.a.helper_s"].params
+    ['x_s']
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> every FunctionInfo with that name (used for
+        #: attribute-call resolution when the receiver type is unknown).
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Sequence, package_roots: Iterable[str] =
+             ("repro",)) -> "Project":
+        """Parse every ``.py`` file under ``paths`` into a project.
+
+        Module names are derived from the innermost directory named in
+        ``package_roots`` (``.../src/repro/cpu/core.py`` ->
+        ``repro.cpu.core``); files outside any root get a flat
+        single-segment name from their stem, so the loader stays usable
+        on synthetic test packages.
+        """
+        project = cls()
+        roots = tuple(package_roots)
+        for path in iter_python_files(paths):
+            source = Path(path).read_text(encoding="utf-8")
+            try:
+                ctx = FileContext(str(path), source)
+            except SyntaxError:
+                continue  # the per-file linter reports RL000 for these
+            project.add_module(cls._module_name(path, roots), str(path),
+                               ctx)
+        project.index()
+        return project
+
+    @staticmethod
+    def _module_name(path, roots: Tuple[str, ...]) -> str:
+        parts = Path(path).parts
+        anchor = None
+        for root in roots:
+            if root in parts:
+                anchor = len(parts) - 1 - parts[::-1].index(root)
+                break
+        if anchor is None:
+            # Fall back to "package dirs after the last non-identifier
+            # component": supports loading bare synthetic trees.
+            anchor = max(0, len(parts) - 2)
+        names = list(parts[anchor:])
+        if names[-1] == "__init__.py":
+            names = names[:-1]
+        else:
+            names[-1] = names[-1][:-3]  # strip .py
+        return ".".join(names)
+
+    def add_module(self, name: str, path: str, ctx: FileContext) -> None:
+        self.modules[name] = ModuleInfo(name, path, ctx)
+
+    def index(self) -> None:
+        """(Re)build the symbol table from the loaded modules."""
+        self.functions.clear()
+        self.classes.clear()
+        self.methods_by_name.clear()
+        for module in self.modules.values():
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    info = self._function(module, node)
+                    self.functions[info.qualname] = info
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(module, node)
+        # Resolve class bases now that every class is known.
+        for cls_info in self.classes.values():
+            module = self.modules[cls_info.module]
+            resolved = []
+            for base in cls_info.node.bases:
+                dotted = self._dotted_text(base)
+                if dotted is None:
+                    continue
+                target = self.resolve_name(module, dotted)
+                resolved.append(target if target in self.classes
+                                else dotted)
+            cls_info.bases = resolved
+        for info in self.functions.values():
+            if info.is_method:
+                self.methods_by_name.setdefault(info.name, []).append(info)
+
+    def _function(self, module: ModuleInfo, node,
+                  class_name: Optional[str] = None) -> FunctionInfo:
+        deco_names = set()
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            text = self._dotted_text(target)
+            if text:
+                deco_names.add(text.split(".")[-1])
+        qual = f"{module.name}.{class_name}.{node.name}" if class_name \
+            else f"{module.name}.{node.name}"
+        return FunctionInfo(
+            qualname=qual, module=module.name, name=node.name, node=node,
+            class_name=class_name, is_method=class_name is not None,
+            is_static="staticmethod" in deco_names
+                      or "classmethod" in deco_names,
+            is_property="property" in deco_names
+                        or "cached_property" in deco_names)
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        cls_info = ClassInfo(qualname=f"{module.name}.{node.name}",
+                             module=module.name, name=node.name, node=node)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function(module, stmt, class_name=node.name)
+                cls_info.methods[stmt.name] = info
+                self.functions[info.qualname] = info
+        self.classes[cls_info.qualname] = cls_info
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dotted_text(node: ast.AST) -> Optional[str]:
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+
+    def resolve_name(self, module: ModuleInfo,
+                     dotted: str) -> Optional[str]:
+        """Resolve a dotted reference *as written in ``module``* to a
+        project symbol qualname (function, class, or module), or
+        ``None`` when it leaves the project."""
+        head, _, rest = dotted.partition(".")
+        target = module.bindings.get(head)
+        if target is None:
+            # An unimported bare name: a definition in this module?
+            candidate = f"{module.name}.{dotted}"
+            if candidate in self.functions or candidate in self.classes:
+                return candidate
+            if head == module.name.split(".")[0]:
+                target = head  # absolute reference to our own root pkg
+            else:
+                return None
+        full = f"{target}.{rest}" if rest else target
+        # Walk the dotted chain down through packages re-exporting names
+        # (``from repro.harness import ExperimentConfig`` via __init__).
+        return self._canonical(full, depth=0)
+
+    def _canonical(self, dotted: str, depth: int) -> Optional[str]:
+        if depth > 8:  # re-export cycle guard
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if dotted in self.modules:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            return None
+        # ``repro.harness.ExperimentConfig`` where repro.harness is a
+        # package __init__ re-exporting the name.
+        owner = self.modules.get(head)
+        if owner is not None and tail in owner.bindings:
+            return self._canonical(owner.bindings[tail], depth + 1)
+        # ``pkg.module.Class.attr``: resolve the class, keep the attr.
+        parent = self._canonical(head, depth + 1)
+        if parent is not None and parent != head:
+            return self._canonical(f"{parent}.{tail}", depth + 1)
+        if parent is not None and f"{parent}.{tail}" in self.functions:
+            return f"{parent}.{tail}"
+        return None
+
+    def resolve_expr(self, module: ModuleInfo,
+                     node: ast.AST) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` expression to a qualname."""
+        dotted = self._dotted_text(node)
+        if dotted is None:
+            return None
+        return self.resolve_name(module, dotted)
+
+    def function_for_call(self, module: ModuleInfo, node: ast.Call,
+                          enclosing_class: Optional[ClassInfo] = None,
+                          ) -> List[FunctionInfo]:
+        """Candidate targets of a call expression (possibly empty).
+
+        Unambiguous paths: direct calls to project functions,
+        ``Class(...)`` (resolving to ``__init__``), and
+        ``self.method(...)`` within a known class.  Attribute calls on
+        unknown receivers fall back to the project-wide method-name
+        index; callers decide how much ambiguity they tolerate.
+        """
+        func = node.func
+        # self.method(...) inside a class body
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in ("self", "cls") and \
+                enclosing_class is not None:
+            target = enclosing_class.method(func.attr, self)
+            return [target] if target is not None else []
+        qualname = self.resolve_expr(module, func)
+        if qualname is not None:
+            if qualname in self.functions:
+                return [self.functions[qualname]]
+            if qualname in self.classes:
+                init = self.classes[qualname].method("__init__", self)
+                return [init] if init is not None else []
+        if isinstance(func, ast.Attribute):
+            return list(self.methods_by_name.get(func.attr, []))
+        return []
+
+
+__all__ = ["ClassInfo", "FunctionInfo", "ModuleInfo", "Project"]

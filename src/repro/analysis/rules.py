@@ -33,10 +33,20 @@ RL007     Bare ``except:`` anywhere; silently swallowed exceptions
 RL008     ``@dataclass`` state classes in ``sim/``/``cpu/`` that are
           neither ``frozen`` nor slotted: accidental attribute creation
           on hot-path state objects hides typos and costs memory.
+RL009     Suppression hygiene: a ``# reprolint: disable`` comment
+          without a ``- reason`` is itself a finding, and the driver
+          reports suppressions that silenced nothing as unused.  The
+          code is special-cased so a blanket/reasonless comment cannot
+          silence the finding about itself.
 ========  =============================================================
 
 Suppress a deliberate exception with
 ``# reprolint: disable=RL### - reason`` on the flagged line.
+
+The whole-program rules (RL101-RL113: unit-dimension inference and
+RNG/wall-clock flow analysis) live in :mod:`repro.analysis.units` and
+:mod:`repro.analysis.flows`; they need the cross-module view built by
+:mod:`repro.analysis.project` and run from the driver, not per file.
 """
 
 from __future__ import annotations
@@ -45,7 +55,9 @@ import ast
 import re
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.analysis.linter import FileContext, Finding, LintRule, register
+from repro.analysis.linter import (
+    SUPPRESSION_HYGIENE_CODE, FileContext, Finding, LintRule, register,
+)
 
 # ----------------------------------------------------------------------
 # RL001 --- wall-clock reads
@@ -504,6 +516,29 @@ class DataclassSlotsRule(LintRule):
                     f"but is neither frozen nor slotted; add "
                     f"`frozen=True` or `slots=True` (3.10+) so hot-path "
                     f"state cannot grow accidental attributes")
+
+
+# ----------------------------------------------------------------------
+# RL009 --- suppression hygiene
+# ----------------------------------------------------------------------
+@register
+class SuppressionHygieneRule(LintRule):
+    code = SUPPRESSION_HYGIENE_CODE
+    name = "suppression-hygiene"
+    description = ("# reprolint: disable comment without a `- reason`; "
+                   "unused suppressions are reported by the driver")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for line in sorted(ctx.suppressions):
+            sup = ctx.suppressions[line]
+            if sup.reason:
+                continue
+            what = "blanket suppression" if sup.codes is None else \
+                f"suppression of {', '.join(sorted(sup.codes))}"
+            yield Finding(
+                self.code, self.name, ctx.path, sup.line, sup.col,
+                f"{what} has no reason; append `- why this is fine` "
+                f"to the disable comment")
 
 
 #: Rendered rule table for ``--list-rules`` and the docs.

@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs and CI annotation surfaces ingest; emitting it lets the reprolint
+run show up as inline review comments instead of a wall of log text.
+One ``run`` object per invocation:
+
+* ``tool.driver.rules`` carries the full rule table (per-file RL0xx
+  and whole-program RL1xx), so viewers can render rule help without
+  reprolint installed.
+* Each ``result`` points at the finding's physical location
+  (1-based line/column per the SARIF spec --- note the +1 on our
+  0-based AST columns), carries the baseline fingerprint under
+  ``partialFingerprints``, and --- when a baseline was applied ---
+  a ``baselineState`` of ``"new"`` or ``"unchanged"`` so viewers can
+  hide the audited backlog by default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import _norm_path, fingerprint
+from repro.analysis.linter import RULE_REGISTRY, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: ``partialFingerprints`` key; versioned so the hashing scheme can
+#: change without colliding with stored fingerprints.
+FINGERPRINT_KEY = "reprolint/v1"
+
+TOOL_NAME = "reprolint"
+TOOL_VERSION = "2.0"
+
+
+def _rule_metadata() -> List[Dict[str, object]]:
+    """The combined rule table: per-file registry + program rules."""
+    from repro.analysis.flows import PROGRAM_FLOW_RULES
+    from repro.analysis.units import PROGRAM_UNIT_RULES
+
+    rules: Dict[str, Tuple[str, str]] = {}
+    for code, cls in RULE_REGISTRY.items():
+        rules[code] = (cls.name, cls.description)
+    rules.update(PROGRAM_UNIT_RULES)
+    rules.update(PROGRAM_FLOW_RULES)
+    return [
+        {
+            "id": code,
+            "name": rules[code][0],
+            "shortDescription": {"text": rules[code][1]},
+        }
+        for code in sorted(rules)
+    ]
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            baseline_state: Optional[str]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _norm_path(finding.path)},
+                "region": {
+                    "startLine": max(1, finding.line),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: fingerprint(finding)},
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def sarif_log(new: Sequence[Finding],
+              baselined: Sequence[Finding] = (),
+              baseline_applied: bool = False) -> Dict[str, object]:
+    """Build the SARIF log object for one run.
+
+    Without a baseline, every finding is emitted with no
+    ``baselineState``; with one, new findings are ``"new"`` and
+    baselined ones ``"unchanged"``.
+    """
+    rules = _rule_metadata()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for finding in new:
+        results.append(_result(finding, rule_index,
+                               "new" if baseline_applied else None))
+    for finding in baselined:
+        results.append(_result(finding, rule_index,
+                               "unchanged" if baseline_applied else None))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(new: Sequence[Finding],
+                 baselined: Sequence[Finding] = (),
+                 baseline_applied: bool = False) -> str:
+    return json.dumps(
+        sarif_log(new, baselined, baseline_applied=baseline_applied),
+        indent=2, sort_keys=True)
+
+
+__all__ = ["FINGERPRINT_KEY", "SARIF_SCHEMA", "SARIF_VERSION",
+           "render_sarif", "sarif_log"]

@@ -224,16 +224,16 @@ class PolarisScheduler:
             # With e0 == 0 the clamp is the identity (estimates are
             # never negative), so reuse the vector as-is.
             if running_elapsed:
-                remaining = [max(0.0, m - running_elapsed) for m in mu0]
+                remaining_s = [max(0.0, m - running_elapsed) for m in mu0]
             else:
-                remaining = mu0
+                remaining_s = mu0
             chosen = nf - 1
             for j in range(nf):
-                if now + remaining[j] <= running.deadline:
+                if now + remaining_s[j] <= running.deadline:
                     chosen = j
                     break
         else:
-            remaining = [0.0] * nf
+            remaining_s = [0.0] * nf
             chosen = 0
         floor_index = chosen  # the running transaction's frequency floor
 
@@ -253,7 +253,7 @@ class PolarisScheduler:
         early_exit = False
         scanned = 0
         if index < end and mu_get is not None:
-            q = remaining[chosen]
+            q = remaining_s[chosen]
             live = items[index:end]
             scanned = len(live)
             lm: dict = {}  # level memo: workload -> mu[chosen]
@@ -281,7 +281,7 @@ class PolarisScheduler:
                     j = chosen + 1
                     while j < nf:
                         chosen = j
-                        qj = remaining[j]
+                        qj = remaining_s[j]
                         for w in live[:at]:
                             qj += mu_cache[w.workload_name][1][j]
                         q = qj
@@ -302,7 +302,7 @@ class PolarisScheduler:
             # Cache disabled (estimator without per-workload version
             # counters): the original interpreted walk, with estimates
             # drawn per item.
-            q = remaining[chosen]
+            q = remaining_s[chosen]
             vectors: List[List[float]] = []
             vectors_append = vectors.append
             while index < end:
@@ -316,7 +316,7 @@ class PolarisScheduler:
                     j = chosen + 1
                     while j < nf:
                         chosen = j
-                        qj = remaining[j]
+                        qj = remaining_s[j]
                         for w in vectors:
                             qj += w[j]
                         q = qj
@@ -334,7 +334,7 @@ class PolarisScheduler:
         if self.sanitize:
             self._sanitize_selected(selected, floor_index, now)
         if self.trace_decisions:
-            self._record_decision(now, running, remaining[chosen],
+            self._record_decision(now, running, remaining_s[chosen],
                                   selected, freqs[floor_index],
                                   early_exit=early_exit)
         return selected

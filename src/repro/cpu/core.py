@@ -240,11 +240,12 @@ class Core:
             ran = max(0.0, self.sim.now - self._progress_mark)
             self._executed = min(self._job.work, self._executed + ran * self.freq)
             self._progress_mark = self.sim.now + self.transition_latency
-            remaining = max(0.0, self._job.work - self._executed)
+            remaining_gcycles = max(0.0, self._job.work - self._executed)
             assert self._completion is not None
             self._completion.cancel()
             self._completion = self.sim.schedule(
-                self.transition_latency + remaining / freq_ghz, self._complete)
+                self.transition_latency + remaining_gcycles / freq_ghz,
+                self._complete)
         self.freq = freq_ghz
         self.freq_transitions += 1
         if self.sanitize:
@@ -348,9 +349,9 @@ class Core:
         if self._job is not None:
             self._segment_busy = True
             self._progress_mark = self.sim.now
-            remaining = max(0.0, self._job.work - self._executed)
-            self._completion = self.sim.schedule(remaining / self.freq,
-                                                 self._complete)
+            remaining_gcycles = max(0.0, self._job.work - self._executed)
+            self._completion = self.sim.schedule(
+                remaining_gcycles / self.freq, self._complete)
         if self.sanitize:
             self.sanitize_check()
 

@@ -74,13 +74,13 @@ class CStateModel:
         if duration_s < 0:
             raise ValueError("idle duration cannot be negative")
         segments: List[Tuple[CState, float]] = []
-        remaining = duration_s
+        remaining_s = duration_s
         for state in self.ladder:
-            residency = min(remaining, state.demotion_after)
+            residency = min(remaining_s, state.demotion_after)
             if residency > 0:
                 segments.append((state, residency))
-                remaining -= residency
-            if remaining <= 0:
+                remaining_s -= residency
+            if remaining_s <= 0:
                 break
         return segments
 

@@ -159,11 +159,24 @@ class RandomStreams:
         self._streams: Dict[str, random.Random] = {}
 
     def get(self, name: str) -> random.Random:
-        """Return the stream for ``name``, creating it on first use."""
+        """Return the stream for ``name``, creating it on first use.
+
+        A stream created by :meth:`get_batched` stays batched: handing
+        it out here would look like a full ``random.Random`` but raise
+        ``TypeError`` on the first forking call (``randrange``,
+        ``choice``, ...) far from this aliasing site, so the mismatch
+        is rejected where it happens --- the mirror of the check in
+        :meth:`get_batched`.
+        """
         stream = self._streams.get(name)
         if stream is None:
             stream = random.Random(derive_seed(self.seed, name))
             self._streams[name] = stream
+        elif isinstance(stream, BatchedStream):
+            raise ValueError(
+                f"stream {name!r} already exists batched; request it "
+                f"with get_batched() (or use a distinct name for an "
+                f"unbatched stream)")
         return stream
 
     def get_batched(self, name: str) -> BatchedStream:

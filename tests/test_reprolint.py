@@ -228,8 +228,32 @@ def test_suppression_comment_silences_one_code():
 def test_suppression_multiple_codes_and_blanket():
     src = ("import random\n"
            "x = random.random()  # reprolint: disable=RL001,RL002 - x\n"
-           "y = random.random()  # reprolint: disable\n")
+           "y = random.random()  # reprolint: disable - blanket, w/ reason\n")
     assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RL009 suppression hygiene
+# ----------------------------------------------------------------------
+def test_rl009_flags_reasonless_suppressions():
+    src = ("import random\n"
+           "x = random.random()  # reprolint: disable=RL002\n")
+    assert codes(src) == ["RL009"]
+    blanket = ("import random\n"
+               "x = random.random()  # reprolint: disable\n")
+    assert codes(blanket) == ["RL009"]
+
+
+def test_rl009_not_silenced_by_the_comment_it_flags():
+    # The blanket comment suppresses everything *except* the hygiene
+    # finding about itself; only an explicit RL009 listing covers it.
+    blanket = "x = 1  # reprolint: disable\n"
+    assert codes(blanket) == ["RL009"]
+    # An *explicit* RL009 listing is the sanctioned opt-out: the code
+    # is named, so a reviewer grepping for RL009 still finds it.
+    explicit = "x = 1  # reprolint: disable=RL009\n"
+    assert codes(explicit) == []
+    assert "RL009" in codes(explicit, include_suppressed=True)
 
 
 def test_suppression_only_applies_to_its_line():
@@ -249,8 +273,8 @@ def test_select_restricts_rules():
     assert codes(src, select=["RL001"]) == ["RL001"]
 
 
-def test_registry_has_the_eight_rules():
-    assert sorted(RULE_REGISTRY) == [f"RL00{i}" for i in range(1, 9)]
+def test_registry_has_the_per_file_rules():
+    assert sorted(RULE_REGISTRY) == [f"RL00{i}" for i in range(1, 10)]
 
 
 # ----------------------------------------------------------------------

@@ -134,12 +134,22 @@ def test_get_batched_caches_and_guards_promotion():
     streams = RandomStreams(5)
     batched = streams.get_batched("arrivals")
     assert streams.get_batched("arrivals") is batched
-    # get() after get_batched() returns the same (batched) stream.
-    assert streams.get("arrivals") is batched
     # Promoting an existing plain stream would fork the sequence.
     streams.get("plain")
     with pytest.raises(ValueError):
         streams.get_batched("plain")
+
+
+def test_get_rejects_existing_batched_stream():
+    # The mirror guard: get() used to hand the BatchedStream out as if
+    # it were a full random.Random, and the first forking call
+    # (randrange, choice, ...) then raised TypeError far from the
+    # aliasing site.  Both directions of the batched/plain mismatch now
+    # fail at the registry, where the stream name is in hand.
+    streams = RandomStreams(5)
+    streams.get_batched("arrivals")
+    with pytest.raises(ValueError, match="already exists batched"):
+        streams.get("arrivals")
 
 
 def test_get_batched_serves_same_sequence_as_get():

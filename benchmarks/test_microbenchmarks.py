@@ -509,3 +509,56 @@ def test_bench_reprolint_full_tree_recorded(benchmark):
     recorded = load_trajectory()
     assert recorded[-1]["name"] == "reprolint-analyzer"
     assert recorded[-1]["phases"]["total"] < 10.0
+
+
+def test_bench_fleet_events_recorded(benchmark):
+    """Fleet-cell simulated-events/sec, logged to the bench trajectory.
+
+    A fleet cell multiplies the per-server hot paths by the node count
+    and layers the router and elastic controller on top; this bench
+    keeps the aggregate engine rate visible PR-over-PR so a regression
+    in any layer shows up as a drop in events/sec, attributable via the
+    recorded event and wall-clock phases.
+    """
+    import random as _random
+
+    from repro.fleet import FleetConfig
+    from repro.fleet.experiment import run_fleet_experiment
+    from repro.harness import ExperimentConfig
+    from repro.harness.profiling import (
+        TimingReport, append_trajectory, load_trajectory, perf_clock,
+    )
+    from repro.workloads.traces import normalize, synthesize_diurnal_trace
+
+    trace = normalize(synthesize_diurnal_trace(
+        8, _random.Random(7), peak_rate_scale=1000.0))
+    config = ExperimentConfig(
+        benchmark="tpcc", scheme="polaris", slack=60.0,
+        warmup_seconds=0.3, test_seconds=float(len(trace)),
+        drain_limit_seconds=5.0, seed=11, load_trace=trace,
+        trace_low_fraction=0.1, trace_high_fraction=0.4,
+        fleet=FleetConfig(shards=2, replicas_per_shard=1,
+                          node_workers=2))
+
+    def cell():
+        return run_fleet_experiment(config)
+
+    warm = cell()
+    assert warm.completed > 0 and warm.sim_events > 0
+
+    best_wall = float("inf")
+    for _ in range(3):
+        start = perf_clock()
+        result = cell()
+        best_wall = min(best_wall, perf_clock() - start)
+    assert benchmark(cell).sim_events == result.sim_events
+
+    rate = result.sim_events / best_wall
+    report = TimingReport(name="fleet-smoke", jobs=1)
+    report.phases["sim_events"] = float(result.sim_events)
+    report.phases["wall_seconds"] = best_wall
+    report.phases["events_per_sec"] = rate
+    append_trajectory(report)
+    recorded = load_trajectory()
+    assert recorded[-1]["name"] == "fleet-smoke"
+    assert recorded[-1]["phases"]["events_per_sec"] > 1000.0

@@ -39,6 +39,13 @@ from repro.db.storage.errors import Rollback
 from repro.sim.engine import Simulator
 
 
+class DrainTimeout(RuntimeError):
+    """`DatabaseServer.drain` could not empty the server: the virtual
+    deadline passed (or the event queue ran dry) with workers still busy
+    or holding queued requests.  The message names each undrained worker
+    and what it holds."""
+
+
 class BaselineDispatcher:
     """Shore-MT's default scheduler: FIFO queue, no frequency control."""
 
@@ -605,11 +612,44 @@ class DatabaseServer:
                   queued=queued, now=self.sim.now)
 
     def drain(self, timeout: float = 60.0) -> None:
-        """Run the simulation until all queues empty (for tests)."""
+        """Run the simulation until every worker is idle and every queue
+        is empty (for tests).
+
+        ``timeout`` is *virtual* (simulation) seconds, measured on
+        ``sim.now`` from the call --- host wall time never enters, so a
+        slow machine cannot flip a drain into a failure.  If work
+        remains when the virtual deadline passes, or the event queue
+        runs dry while requests are still held (a stalled core, a
+        dispatcher that lost its wakeup), the failure is reported as a
+        :class:`DrainTimeout` naming each undrained worker and what it
+        is holding, instead of returning as if the drain succeeded.
+        """
         deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            busy = any(not w.idle for w in self.workers)
-            if not busy and self.total_queue_length() == 0:
+        # Sentinel no-op at the deadline: step() advances to the next
+        # event, which may otherwise leap far past the deadline (and a
+        # leap that happens to finish the work would turn a blown
+        # timeout into silent success).
+        self.sim.schedule_at(deadline, lambda: None)
+        while True:
+            if all(w.idle for w in self.workers) \
+                    and self.total_queue_length() == 0:
                 return
+            if self.sim.now >= deadline:
+                raise DrainTimeout(self._drain_report(
+                    f"drain exceeded {timeout:g} virtual seconds"))
             if not self.sim.step():
-                return
+                raise DrainTimeout(self._drain_report(
+                    "event queue ran dry with work still held"))
+
+    def _drain_report(self, reason: str) -> str:
+        """One line per undrained worker: what it runs, what it queues."""
+        lines = [f"{reason} (now={self.sim.now:.6f})"]
+        for worker in self.workers:
+            queued = worker.queue_length()
+            if worker.idle and queued == 0:
+                continue
+            running = worker.current.txn_type if worker.current else "-"
+            lines.append(
+                f"  worker {worker.worker_id}: running={running} "
+                f"queued={queued} stalled={worker.core.stalled}")
+        return "\n".join(lines)

@@ -41,6 +41,26 @@ _ACTIONS = ("msr_retry", "msr_retry_success", "msr_fallback", "msr_giveup",
             "panic_enter", "panic_exit")
 
 
+def drain_worker_queue(worker) -> list:
+    """Pop every queued request off ``worker``'s dispatcher, in the
+    dispatcher's own order.  Shared by the watchdog's quarantine path
+    and the fleet tier's node-drain path (``repro.fleet``)."""
+    requests = []
+    while True:
+        request = worker.dispatcher.next_request()
+        if request is None:
+            return requests
+        requests.append(request)
+
+
+def redistribute_requests(requests, workers) -> None:
+    """Hand already-admitted requests to ``workers`` round-robin via
+    ``receive_migrated`` (EDF dispatchers re-sort by deadline; admission
+    control and shedding are bypassed --- migration must not lose work)."""
+    for index, request in enumerate(requests):
+        workers[index % len(workers)].receive_migrated(request)
+
+
 class ResilienceController:
     """Arms the degradation mechanisms of one experiment's server."""
 
@@ -166,12 +186,7 @@ class ResilienceController:
     def _migrate(self, worker) -> None:
         """Move every queued request off a dead worker, round-robin over
         the healthy ones (their EDF queues re-sort by deadline)."""
-        requests = []
-        while True:
-            request = worker.dispatcher.next_request()
-            if request is None:
-                break
-            requests.append(request)
+        requests = drain_worker_queue(worker)
         if not requests:
             return
         healthy = [w for w in self.server.workers
@@ -183,8 +198,7 @@ class ResilienceController:
             for request in requests:
                 worker.dispatcher.enqueue(request)
             return
-        for index, request in enumerate(requests):
-            healthy[index % len(healthy)].receive_migrated(request)
+        redistribute_requests(requests, healthy)
         self.actions["migration"] += 1
         self.actions["migrated_requests"] += len(requests)
         if self.tracer.enabled:
@@ -248,4 +262,5 @@ class ResilienceController:
                 worker.pin_frequency(worker.core.pstates.max_freq)
 
 
-__all__ = ["ResilienceController"]
+__all__ = ["ResilienceController", "drain_worker_queue",
+           "redistribute_requests"]

@@ -1,0 +1,42 @@
+"""repro.fleet: cluster-scale fleet simulation with elastic autoscaling.
+
+The fleet tier lifts the single-server POLARIS model to a sharded,
+replicated cluster: :class:`Node` wraps a
+:class:`~repro.db.server.DatabaseServer` with a role and a
+``warming -> active -> draining -> parked`` lifecycle,
+:class:`ClusterRouter` shards requests by key and serves reads from
+replicas (bouncing stale reads to primaries), and
+:class:`ElasticController` parks and boots whole replicas from the
+windowed per-shard load --- the paper's race-to-idle argument applied
+to nodes instead of cores.  :func:`run_fleet_experiment` runs one fleet
+cell through the standard harness methodology; reach it by setting the
+``fleet`` field of :class:`~repro.harness.experiment.ExperimentConfig`.
+"""
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.controller import ElasticController
+from repro.fleet.node import Fleet, Node, NodeState, PRIMARY, REPLICA
+from repro.fleet.router import ClusterRouter, ShardState, read_only_types
+
+__all__ = [
+    "ClusterRouter",
+    "ElasticController",
+    "Fleet",
+    "FleetConfig",
+    "Node",
+    "NodeState",
+    "PRIMARY",
+    "REPLICA",
+    "ShardState",
+    "read_only_types",
+]
+
+
+def __getattr__(name):
+    # run_fleet_experiment imports the harness (which imports
+    # FleetConfig from this package); resolve it lazily so
+    # ``import repro.fleet`` stays cycle-free.
+    if name == "run_fleet_experiment":
+        from repro.fleet.experiment import run_fleet_experiment
+        return run_fleet_experiment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

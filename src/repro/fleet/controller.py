@@ -1,0 +1,184 @@
+"""Elastic node autoscaling: park-or-boot from windowed fleet load.
+
+POLARIS races or paces individual cores; the :class:`ElasticController`
+plays the same game one tier up, with whole nodes.  Every
+``controller_interval_s`` it differentiates each shard's cumulative
+arrival counter into a windowed arrival rate, normalizes by the shard's
+*currently serving* capacity (active nodes x per-node peak throughput),
+and compares the utilization against two thresholds:
+
+* above ``scale_out_utilization`` --- unpark one parked replica (boot
+  latency drawn from the seeded lifecycle stream; the node serves
+  nothing and saves nothing until it finishes warming);
+* below ``scale_in_utilization`` --- drain one active replica, reusing
+  the ``repro.faults`` quarantine/migration machinery to move its
+  queued requests onto shard siblings before it parks.
+
+Hysteresis is the gap between the two thresholds plus a per-shard
+cooldown after any action; at most one replica per shard is in motion
+(warming or draining) at a time.  Primaries are never parked ---
+a shard must always accept writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.faults.resilience import drain_worker_queue, redistribute_requests
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import Fleet, Node, NodeState
+from repro.fleet.router import ClusterRouter, ShardState
+from repro.sim.engine import Simulator
+
+#: Deterministic ordering of the action counters.
+_ACTIONS = ("scale_out", "scale_in", "migrations", "migrated_requests")
+
+
+class ElasticController:
+    """Adds and parks replicas from the windowed per-shard load."""
+
+    def __init__(self, sim: Simulator, fleet: Fleet, router: ClusterRouter,
+                 config: FleetConfig, per_node_peak_tps: float,
+                 lifecycle_rng: random.Random):
+        self.sim = sim
+        self.fleet = fleet
+        self.router = router
+        self.config = config
+        self.per_node_peak_tps = per_node_peak_tps
+        self.lifecycle_rng = lifecycle_rng
+        self.actions: Dict[str, int] = {name: 0 for name in _ACTIONS}
+        self._windows: List[Deque[int]] = [
+            deque(maxlen=config.controller_window_ticks)
+            for _ in router.shards]
+        self._last_offered = [shard.offered for shard in router.shards]
+        self._cooldown = [0 for _ in router.shards]
+        self._tick_event = None
+        self.tracer = sim.tracer
+        self.trace_track = self.tracer.track("fleet", "controller")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._tick_event = self.sim.schedule(
+            self.config.controller_interval_s, self._tick)
+
+    def stop(self) -> None:
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        for index, shard in enumerate(self.router.shards):
+            self._consider(index, shard)
+        self._tick_event = self.sim.schedule(
+            self.config.controller_interval_s, self._tick)
+
+    def shard_utilization(self, index: int, shard: ShardState) -> float:
+        """Windowed arrival rate over currently-serving capacity."""
+        window = self._windows[index]
+        window_s = len(window) * self.config.controller_interval_s
+        serving = len(shard.active_nodes())
+        if window_s <= 0 or serving == 0:
+            return 0.0
+        rate_tps = sum(window) / window_s
+        return rate_tps / (serving * self.per_node_peak_tps)
+
+    def _consider(self, index: int, shard: ShardState) -> None:
+        window = self._windows[index]
+        window.append(shard.offered - self._last_offered[index])
+        self._last_offered[index] = shard.offered
+        if self._cooldown[index] > 0:
+            self._cooldown[index] -= 1
+            return
+        if len(window) < window.maxlen:
+            return  # not enough signal yet
+        in_motion = any(r.state in (NodeState.WARMING, NodeState.DRAINING)
+                        for r in shard.replicas)
+        if in_motion:
+            return  # one replica per shard in motion at a time
+        utilization = self.shard_utilization(index, shard)
+        if utilization > self.config.scale_out_utilization:
+            self._scale_out(index, shard, utilization)
+        elif utilization < self.config.scale_in_utilization:
+            self._scale_in(index, shard, utilization)
+
+    # ------------------------------------------------------------------
+    def _scale_out(self, index: int, shard: ShardState,
+                   utilization: float) -> None:
+        parked = next((r for r in shard.replicas
+                       if r.state is NodeState.PARKED), None)
+        if parked is None:
+            return  # peak-provisioned already
+        boot_s = self.lifecycle_rng.uniform(self.config.boot_latency_min_s,
+                                            self.config.boot_latency_max_s)
+        parked.unpark(boot_s)
+        self.actions["scale_out"] += 1
+        self._cooldown[index] = self.config.controller_cooldown_ticks
+        if self.tracer.enabled:
+            self.tracer.instant(self.trace_track, "elastic:scale-out",
+                                self.sim.now, shard=shard.shard_id,
+                                node=parked.node_id, boot_s=boot_s,
+                                utilization=utilization)
+
+    def _scale_in(self, index: int, shard: ShardState,
+                  utilization: float) -> None:
+        active = [r for r in shard.replicas
+                  if r.state is NodeState.ACTIVE]
+        if len(active) <= self.config.min_active_replicas:
+            return
+        victim = active[-1]
+        victim.begin_drain(self._migrate_off, self.config.drain_grace_s,
+                           self.config.drain_poll_s)
+        self.actions["scale_in"] += 1
+        self._cooldown[index] = self.config.controller_cooldown_ticks
+        if self.tracer.enabled:
+            self.tracer.instant(self.trace_track, "elastic:scale-in",
+                                self.sim.now, shard=shard.shard_id,
+                                node=victim.node_id,
+                                utilization=utilization)
+
+    # ------------------------------------------------------------------
+    def _migrate_off(self, node: Node) -> None:
+        """Drain a parking node's queues onto its shard siblings.
+
+        Reuses the faults-tier machinery (pop via the dispatcher,
+        round-robin ``receive_migrated`` so EDF queues re-sort), then
+        moves each migrated request's ``submitted`` credit from the
+        source server to its adoptive one --- per-node books stay
+        balanced and the fleet-scope sum is untouched, which
+        :meth:`Fleet.sanitize_accounting` audits after every migration
+        under simsan.
+        """
+        requests = []
+        for worker in node.server.workers:
+            requests.extend(drain_worker_queue(worker))
+        if not requests:
+            return
+        shard = self.router.shards[node.shard_id]
+        targets = shard.active_nodes()
+        if not targets:
+            raise RuntimeError(
+                f"shard {node.shard_id} has no active node to adopt "
+                f"{len(requests)} migrated requests (primary state: "
+                f"{shard.primary.state.value})")
+        target_workers = [w for n in targets for w in n.server.workers]
+        redistribute_requests(requests, target_workers)
+        node.server.submitted -= len(requests)
+        for offset in range(len(requests)):
+            target_workers[offset % len(target_workers)] \
+                .server.submitted += 1
+        self.actions["migrations"] += 1
+        self.actions["migrated_requests"] += len(requests)
+        if self.tracer.enabled:
+            self.tracer.instant(self.trace_track, "elastic:migration",
+                                self.sim.now, source=node.node_id,
+                                moved=len(requests),
+                                targets=len(target_workers))
+        if self.sim.sanitize:
+            self.fleet.sanitize_accounting()
+
+
+__all__ = ["ElasticController"]

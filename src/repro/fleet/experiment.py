@@ -1,0 +1,378 @@
+"""Run one fleet-tier experimental cell.
+
+Single-server cells (:func:`repro.harness.experiment.run_experiment`)
+measure one multi-core server under POLARIS; a fleet cell measures a
+whole sharded/replicated cluster of such servers behind a
+:class:`~repro.fleet.router.ClusterRouter`, with (optionally) the
+:class:`~repro.fleet.controller.ElasticController` parking and booting
+replicas as the offered load breathes.  The methodology mirrors the
+paper's three phases --- warmup, estimator training (shared fleet-wide:
+every worker of every node uses the same calibrated estimator),
+measured test window with a wall meter over the *fleet's* power ---
+and the result is reported through the same
+:class:`~repro.harness.experiment.ExperimentResult`, with fleet extras
+(per-shard miss rates, stale-read bounces, node-lifecycle actions, the
+active-node timeline) on defaulted fields.
+
+Offered load is expressed against the **peak-provisioned** fleet
+(every node active), so elastic and static cells of the same shape see
+bit-identical arrival sequences --- the comparison the acceptance test
+pins: elastic power strictly below static-peak power at equal-or-better
+per-shard deadline-miss rates.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.estimator import ExecutionTimeEstimator
+from repro.core.request import Request
+from repro.core.workload import WorkloadManager
+from repro.cpu.topology import SocketTopology, make_topology
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.fleet.config import FleetConfig
+from repro.fleet.controller import ElasticController
+from repro.fleet.node import Fleet, Node, PRIMARY, REPLICA
+from repro.fleet.router import ClusterRouter, ShardState, read_only_types
+from repro.governors.base import GovernorSet
+from repro.harness.experiment import (
+    BENCHMARKS, ExperimentConfig, ExperimentResult, _train_estimator,
+    effective_load_fraction,
+)
+from repro.harness.profiling import perf_clock
+from repro.harness.schemes import scheme_named
+from repro.metrics.latency import LatencyRecorder, WorkloadStats
+from repro.metrics.power import PowerMeter
+from repro.obs.export import export_chrome_trace, export_series_csv
+from repro.obs.metrics import MetricRegistry, MetricsSampler
+from repro.obs.trace import NULL_TRACER, Tracer, trace_enabled
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.arrivals import OpenLoopGenerator, RateSchedule
+
+
+def _build_fleet(sim: Simulator, fleet_config: FleetConfig,
+                 server_config: ServerConfig, scheme, scheduler_factory,
+                 streams: RandomStreams
+                 ) -> Tuple[Fleet, List[ShardState], List[GovernorSet]]:
+    """Construct nodes, shards, and (for OS schemes) their governors.
+
+    Replication lags are drawn for every replica in build order from
+    the seeded lifecycle stream, *before* any controller decision can
+    consume from it --- elastic and static fleets of the same seed get
+    identical lag assignments.
+    """
+    lifecycle_rng = streams.get("fleet-lifecycle")
+    static_replicas = fleet_config.replicas_per_shard \
+        if fleet_config.static_active_replicas is None \
+        else fleet_config.static_active_replicas
+
+    nodes: List[Node] = []
+    shards: List[ShardState] = []
+    governor_sets: List[GovernorSet] = []
+    node_id = 0
+    for shard_id in range(fleet_config.shards):
+        shard_members: List[Node] = []
+        for replica_index in range(1 + fleet_config.replicas_per_shard):
+            role = PRIMARY if replica_index == 0 else REPLICA
+            lag_s = 0.0
+            if role == REPLICA:
+                lag_s = lifecycle_rng.uniform(
+                    fleet_config.replication_lag_min_s,
+                    fleet_config.replication_lag_max_s)
+            start_parked = (role == REPLICA
+                            and not fleet_config.elastic
+                            and replica_index > static_replicas)
+            server = DatabaseServer(sim, server_config,
+                                    scheduler_factory=scheduler_factory,
+                                    initial_freq=scheme.initial_freq)
+            if scheduler_factory is None:
+                assert scheme.governor_factory is not None
+                governors = GovernorSet(scheme.governor_factory)
+                governors.attach_all(server.cores, sim)
+                governor_sets.append(governors)
+            node = Node(sim, node_id, shard_id, role, server,
+                        parked_floor_watts=fleet_config.parked_floor_watts,
+                        replication_lag_s=lag_s,
+                        start_parked=start_parked)
+            shard_members.append(node)
+            nodes.append(node)
+            node_id += 1
+        shards.append(ShardState(shard_id, shard_members[0],
+                                 shard_members[1:]))
+    return Fleet(sim, nodes), shards, governor_sets
+
+
+def run_fleet_experiment(config: ExperimentConfig,
+                         tracer: Optional[Tracer] = None
+                         ) -> ExperimentResult:
+    """Execute one fleet cell (``config.fleet`` must be set)."""
+    wall_start = perf_clock()
+    fleet_config = config.fleet
+    if fleet_config is None:
+        raise ValueError("run_fleet_experiment needs config.fleet")
+    fleet_config.validate()
+    if config.faults is not None:
+        raise ValueError("fleet cells do not compose with fault plans "
+                         "yet; unset config.faults")
+    if config.workload_policy != "per-type":
+        raise ValueError("fleet cells support the per-type workload "
+                         "policy only")
+    scheme = scheme_named(config.scheme)
+    spec = BENCHMARKS[config.benchmark]()
+    streams = RandomStreams(config.seed)
+    if tracer is None:
+        want_trace = config.trace
+        if want_trace is None and (config.trace_path
+                                   or config.trace_series_path):
+            want_trace = True
+        tracer = Tracer() if trace_enabled(want_trace) else NULL_TRACER
+    sim = Simulator(tracer=tracer)
+    manager = WorkloadManager.per_type_with_slack(spec, config.slack)
+
+    topology = make_topology(config.topology)
+    if not topology.per_core and config.topology_switch_latency > 0:
+        topology = SocketTopology(
+            granularity=topology.granularity,
+            cores_per_socket=topology.cores_per_socket,
+            cores_per_module=topology.cores_per_module,
+            switch_latency_s=config.topology_switch_latency)
+    server_config = ServerConfig(
+        workers=fleet_config.node_workers,
+        request_handlers=fleet_config.node_request_handlers,
+        transition_latency=config.transition_latency,
+        routing=config.routing,
+        cstate_ladder=config.cstate_ladder,
+        topology=topology,
+    )
+
+    estimator = ExecutionTimeEstimator(config.estimator_window,
+                                       config.estimator_percentile)
+    if scheme.uses_scheduler:
+        scheduler_factory = scheme.make_scheduler_factory(
+            server_config.scheduler_frequencies, estimator)
+    else:
+        scheduler_factory = None
+    fleet, shards, governor_sets = _build_fleet(
+        sim, fleet_config, server_config, scheme, scheduler_factory,
+        streams)
+    if scheme.uses_scheduler and config.train_estimators:
+        _train_estimator(estimator, manager, spec,
+                         server_config.scheduler_frequencies, config,
+                         streams.get("fleet-training"))
+    router = ClusterRouter(sim, shards,
+                           read_only_types(config.benchmark))
+
+    # ------------------------------------------------------------------
+    # Offered load, against the peak-provisioned fleet
+    # ------------------------------------------------------------------
+    per_node_peak = spec.peak_throughput(fleet_config.node_workers)
+    fleet_peak = per_node_peak * fleet_config.provisioned_nodes()
+    if config.load_trace is not None:
+        low = effective_load_fraction(config.trace_low_fraction) * fleet_peak
+        high = effective_load_fraction(config.trace_high_fraction) \
+            * fleet_peak
+        schedule: Optional[RateSchedule] = RateSchedule(
+            [low + v * (high - low) for v in config.load_trace])
+        rate_fn = schedule.rate_at
+    else:
+        schedule = None
+        target = effective_load_fraction(config.load_fraction) * fleet_peak
+        rate_fn = lambda _now: target  # noqa: E731 - tiny adapter
+
+    service_rng = streams.get_batched("fleet-service-times")
+    mix_rng = streams.get_batched("fleet-mix")
+    key_rng = streams.get_batched("fleet-keys")
+    keyspace = fleet_config.keyspace
+    choose_type = spec.choose_type
+    manager_get = manager.get
+    route = router.route
+
+    def on_arrival(now: float) -> None:
+        txn_type = choose_type(mix_rng)
+        # Keys shard the data; int(u * keyspace) keeps the stream
+        # batched (randrange would fork a BatchedStream's sequence).
+        key = int(key_rng.random() * keyspace)
+        route(Request(manager_get(txn_type.name), txn_type.name, now,
+                      txn_type.service.draw_work(service_rng)), key)
+
+    generator = OpenLoopGenerator(sim, rate_fn, on_arrival,
+                                  streams.get_batched("fleet-arrivals"))
+
+    # ------------------------------------------------------------------
+    # Instrumentation: fleet-wide recorder plus per-shard books
+    # ------------------------------------------------------------------
+    recorder = LatencyRecorder()
+    test_start = config.warmup_seconds
+    test_duration = schedule.duration if schedule is not None \
+        else config.test_seconds
+    test_end = test_start + test_duration
+    recorder.set_window(test_start, test_end)
+    shard_stats: Dict[int, WorkloadStats] = {
+        shard.shard_id: WorkloadStats() for shard in shards}
+
+    def _shard_completion(shard_id: int, request: Request) -> None:
+        if not test_start <= request.arrival_time < test_end:
+            return
+        stats = shard_stats[shard_id]
+        stats.offered += 1
+        stats.completed += 1
+        if not request.met_deadline:
+            stats.missed += 1
+
+    def _shard_failure(shard_id: int, request: Request) -> None:
+        # Rejections and end-of-run losses: offered but never finished.
+        if not test_start <= request.arrival_time < test_end:
+            return
+        stats = shard_stats[shard_id]
+        stats.offered += 1
+        stats.missed += 1
+
+    for node in fleet.nodes:
+        server = node.server
+        server.add_completion_listener(recorder.on_completion)
+        server.add_rejection_listener(recorder.on_rejection)
+        server.add_completion_listener(
+            partial(_shard_completion, node.shard_id))
+        server.add_rejection_listener(
+            partial(_shard_failure, node.shard_id))
+
+    meter_interval = min(config.meter_interval, test_duration / 4.0)
+    meter = PowerMeter(sim, fleet.wall_energy,
+                       streams.get("fleet-meter-noise"),
+                       interval=meter_interval)
+
+    controller: Optional[ElasticController] = None
+    if fleet_config.elastic:
+        controller = ElasticController(sim, fleet, router, fleet_config,
+                                       per_node_peak,
+                                       streams.get("fleet-lifecycle"))
+        controller.start()
+
+    sampler: Optional[MetricsSampler] = None
+    if tracer.enabled:
+        registry = MetricRegistry()
+        registry.gauge("fleet_power_watts", "instantaneous fleet draw",
+                       fn=fleet.wall_power)
+        registry.gauge("active_nodes", "nodes in the active state",
+                       fn=lambda: float(fleet.active_count()))
+        registry.gauge("queue_depth_total", "requests queued, fleet-wide",
+                       fn=lambda: float(fleet.total_queue_length()))
+        sampler = MetricsSampler(
+            sim, registry, interval_s=config.trace_sample_interval_s,
+            tracer=tracer)
+        sampler.start()
+
+    # ------------------------------------------------------------------
+    # Run the phases, then drain
+    # ------------------------------------------------------------------
+    generator.start()
+    sim.schedule_at(test_start, meter.start, priority=-10)
+    sim.run(until=test_end)
+    generator.stop()
+    if controller is not None:
+        controller.stop()
+    drain_end = test_end + config.drain_limit_seconds
+    while sim.now < drain_end:
+        if fleet.all_idle():
+            break
+        if not sim.step():
+            break
+    meter.stop()
+    # Anything still queued when the drain limit passes will never
+    # finish; count it offered-and-missed rather than censoring.
+    for node in fleet.nodes:
+        for worker in node.server.workers:
+            queue = getattr(worker.dispatcher, "queue", None)
+            if queue is not None:
+                for request in queue:
+                    recorder.on_lost(request)
+                    _shard_failure(node.shard_id, request)
+    if sim.sanitize:
+        fleet.sanitize_accounting()
+
+    trace_event_count = 0
+    if tracer.enabled:
+        if sampler is not None:
+            sampler.stop()
+            sampler.sample_once()  # final state at the end of the drain
+        tracer.finalize(sim.now)
+        trace_event_count = len(tracer.events)
+        if config.trace_path:
+            export_chrome_trace(tracer, config.trace_path)
+        if config.trace_series_path and sampler is not None:
+            export_series_csv(sampler, config.trace_series_path)
+
+    # ------------------------------------------------------------------
+    # Collect
+    # ------------------------------------------------------------------
+    residency: Dict[float, float] = {}
+    for node in fleet.nodes:
+        for core in node.server.cores:
+            core.flush_accounting()
+            for freq, seconds in core.freq_residency.items():
+                residency[freq] = residency.get(freq, 0.0) + seconds
+    for governors in governor_sets:
+        governors.detach_all()
+
+    per_shard_failure = {f"shard{shard_id}": stats.failure_rate
+                         for shard_id, stats in shard_stats.items()}
+    per_shard_offered = {f"shard{shard_id}": stats.offered
+                         for shard_id, stats in shard_stats.items()}
+    fleet_actions = dict(router.decision_counts())
+    if controller is not None:
+        fleet_actions.update(controller.actions)
+    fleet_actions["boots"] = sum(n.boots for n in fleet.nodes)
+    fleet_actions["drains"] = sum(n.drains for n in fleet.nodes)
+
+    if fleet_config.elastic:
+        fleet_label = "elastic"
+    else:
+        active_replicas = fleet_config.replicas_per_shard \
+            if fleet_config.static_active_replicas is None \
+            else fleet_config.static_active_replicas
+        fleet_label = \
+            f"static-{fleet_config.shards * (1 + active_replicas)}"
+
+    return ExperimentResult(
+        config=config,
+        scheme_label=f"fleet-{fleet_label} {scheme.label}",
+        avg_power_watts=meter.average_power(test_start, test_end),
+        failure_rate=recorder.failure_rate,
+        offered=recorder.total_offered,
+        completed=recorder.total_completed,
+        missed=recorder.total_missed,
+        rejected=recorder.total_rejected,
+        throughput=recorder.total_completed / test_duration,
+        peak_throughput=fleet_peak,
+        per_workload_failure={
+            name: stats.failure_rate
+            for name, stats in recorder.per_workload.items()},
+        per_workload_offered={
+            name: stats.offered
+            for name, stats in recorder.per_workload.items()},
+        cpu_energy_joules=fleet.cpu_energy(),
+        wall_energy_joules=fleet.wall_energy(),
+        freq_residency=residency,
+        power_timeline=(meter.binned_average(test_start, test_end,
+                                             config.timeline_bin_seconds)
+                        if meter.samples else []),
+        load_timeline=list(config.load_trace or []),
+        mean_latency_by_workload={
+            name: stats.mean_latency()
+            for name, stats in recorder.per_workload.items()
+            if stats.latencies},
+        sim_events=sim.events_processed,
+        wall_seconds=perf_clock() - wall_start,
+        trace_events=trace_event_count,
+        lost=recorder.total_lost,
+        per_shard_failure=per_shard_failure,
+        per_shard_offered=per_shard_offered,
+        stale_reads=router.stale_read_bounces,
+        fleet_actions=fleet_actions,
+        node_timeline=list(fleet.node_timeline),
+    )
+
+
+__all__ = ["run_fleet_experiment"]

@@ -1,0 +1,152 @@
+"""Cluster routing: shard by key, reads to replicas, writes to primaries.
+
+The router is the fleet's request-handler tier.  Each request carries a
+key drawn from the configured keyspace; ``key % shards`` picks the
+shard.  Writes always execute on the shard's primary (and advance the
+shard's last-write clock).  Reads round-robin over the shard's *active*
+replicas --- but a replica only serves a read if its seeded replication
+lag has passed since the shard's last write; otherwise the read would
+observe a stale snapshot and is **bounced to the primary**.  Those
+bounces are the fleet tier's new latency hazard class: they are counted
+(:attr:`ClusterRouter.stale_read_bounces`, surfaced on the experiment
+result), traced as ``router:stale-read`` instants, and they concentrate
+read load on the primary exactly when it is busiest (just after
+writes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.request import Request
+from repro.fleet.node import Node, NodeState
+from repro.sim.engine import Simulator
+
+#: Read-only transaction types per benchmark family; everything else
+#: mutates and must execute on the primary.  (TPC-C: Section 2.2 of the
+#: spec; TPC-E: the read-only customer/market transactions; YCSB: reads
+#: and scans.)
+_READ_ONLY_TYPES: Dict[str, FrozenSet[str]] = {
+    "tpcc": frozenset({"OrderStatus", "StockLevel"}),
+    "tpce": frozenset({"TradeStatus", "MarketWatch", "SecurityDetail",
+                       "CustomerPosition", "TradeLookup", "BrokerVolume"}),
+    "ycsb": frozenset({"Read", "Scan"}),
+}
+
+
+def read_only_types(benchmark: str) -> FrozenSet[str]:
+    """The benchmark's read-only transaction-type names."""
+    family = "ycsb" if benchmark.startswith("ycsb") else benchmark
+    try:
+        return _READ_ONLY_TYPES[family]
+    except KeyError:
+        raise ValueError(f"no read/write split known for {benchmark!r}")
+
+
+class ShardState:
+    """One shard's routing state: its nodes and replication clock."""
+
+    def __init__(self, shard_id: int, primary: Node,
+                 replicas: List[Node]):
+        self.shard_id = shard_id
+        self.primary = primary
+        self.replicas = replicas
+        #: Virtual time of the last write routed to this shard; replicas
+        #: within their lag of it are stale for reads.
+        self.last_write_s = float("-inf")
+        self._rr_index = 0
+        #: Cumulative arrivals routed to this shard (reads + writes);
+        #: the elastic controller differentiates this for its windowed
+        #: load signal.
+        self.offered = 0
+        self.stale_read_bounces = 0
+
+    def active_nodes(self) -> List[Node]:
+        nodes = [self.primary] if self.primary.state is NodeState.ACTIVE \
+            else []
+        nodes.extend(r for r in self.replicas
+                     if r.state is NodeState.ACTIVE)
+        return nodes
+
+    def next_active_replica(self) -> Optional[Node]:
+        """Round-robin over replicas currently active (None if none)."""
+        count = len(self.replicas)
+        for offset in range(count):
+            node = self.replicas[(self._rr_index + offset) % count]
+            if node.state is NodeState.ACTIVE:
+                self._rr_index = (self._rr_index + offset + 1) % count
+                return node
+        return None
+
+
+class ClusterRouter:
+    """Routes client requests onto fleet nodes."""
+
+    def __init__(self, sim: Simulator, shards: List[ShardState],
+                 read_types: FrozenSet[str]):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.sim = sim
+        self.shards = shards
+        self.read_types = read_types
+        self.routed_writes = 0
+        self.routed_reads = 0
+        #: Reads served by a replica (fresh) vs bounced/fallback.
+        self.replica_reads = 0
+        self.stale_read_bounces = 0
+        #: Reads sent to the primary because no replica was active.
+        self.replica_fallbacks = 0
+        self.tracer = sim.tracer
+        self.trace_track = self.tracer.track("fleet", "router")
+
+    def route(self, request: Request, key: int) -> Node:
+        """Pick the serving node for ``request`` and submit it."""
+        shard = self.shards[key % len(self.shards)]
+        shard.offered += 1
+        now_s = self.sim.now
+        if request.txn_type in self.read_types:
+            self.routed_reads += 1
+            replica = shard.next_active_replica()
+            if replica is None:
+                self.replica_fallbacks += 1
+                target = shard.primary
+            elif now_s - shard.last_write_s < replica.replication_lag_s:
+                # The replica has not applied the shard's latest write:
+                # serving the read there would return stale data, so it
+                # bounces to the primary --- the fleet tier's new
+                # latency hazard class.
+                self.stale_read_bounces += 1
+                shard.stale_read_bounces += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        self.trace_track, "router:stale-read", now_s,
+                        shard=shard.shard_id, replica=replica.node_id,
+                        lag_s=replica.replication_lag_s,
+                        since_write_s=now_s - shard.last_write_s)
+                target = shard.primary
+            else:
+                self.replica_reads += 1
+                target = replica
+        else:
+            self.routed_writes += 1
+            shard.last_write_s = now_s
+            target = shard.primary
+        if self.tracer.enabled:
+            self.tracer.counter(self.trace_track,
+                                f"shard_offered.s{shard.shard_id}",
+                                now_s, offered=shard.offered)
+        target.server.submit(request)
+        return target
+
+    def decision_counts(self) -> Dict[str, int]:
+        """Deterministically ordered router decision counters."""
+        return {
+            "routed_writes": self.routed_writes,
+            "routed_reads": self.routed_reads,
+            "replica_reads": self.replica_reads,
+            "stale_read_bounces": self.stale_read_bounces,
+            "replica_fallbacks": self.replica_fallbacks,
+        }
+
+
+__all__ = ["ClusterRouter", "ShardState", "read_only_types"]

@@ -15,6 +15,7 @@ processes behind a content-addressed on-disk cache, and
 :mod:`repro.harness.profiling` accounts for where the wall time went.
 """
 
+from repro.fleet.config import FleetConfig
 from repro.harness.experiment import (
     ExperimentConfig, ExperimentResult, run_experiment,
 )
@@ -23,7 +24,8 @@ from repro.harness.profiling import TimingReport
 from repro.harness.schemes import SCHEMES, Scheme, scheme_named
 
 __all__ = [
-    "ExperimentConfig", "ExperimentResult", "run_experiment",
+    "ExperimentConfig", "ExperimentResult", "FleetConfig",
+    "run_experiment",
     "SweepCache", "SweepRunner", "run_sweep", "TimingReport",
     "SCHEMES", "Scheme", "scheme_named",
 ]

@@ -43,6 +43,7 @@ COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "extension": lambda o: figures.extension_worker_parking(o),
     "resilience": lambda o: figures.resilience_figure(o),
     "granularity": lambda o: figures.granularity_figure(o),
+    "fleet": lambda o: figures.fleet_elastic_frontier(o),
 }
 
 

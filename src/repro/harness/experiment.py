@@ -35,6 +35,7 @@ from repro.db.server import DatabaseServer, ServerConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultsLike, resolve_fault_plan
 from repro.faults.resilience import ResilienceController
+from repro.fleet.config import FleetConfig
 from repro.governors.base import GovernorSet
 from repro.harness.profiling import perf_clock
 from repro.harness.schemes import scheme_named
@@ -162,6 +163,14 @@ class ExperimentConfig:
     #: cell.  An empty plan is inert, so ``faults=None`` with no env is
     #: bit-identical to a run without the faults subsystem.
     faults: FaultsLike = None
+    #: repro.fleet: set to a :class:`~repro.fleet.config.FleetConfig`
+    #: to run this cell as a sharded/replicated *fleet* of servers
+    #: (``workers``/``request_handlers`` above are then ignored in
+    #: favour of the fleet's per-node shape).  ``None`` keeps the
+    #: single-server path bit-identical to pre-fleet builds; being a
+    #: nested dataclass, every fleet knob salts the sweep-cache key
+    #: through ``asdict``.
+    fleet: Optional[FleetConfig] = None
 
 
 @dataclass
@@ -199,6 +208,16 @@ class ExperimentResult:
     faults_injected: int = 0
     degradation_actions: Dict[str, int] = field(default_factory=dict)
     lost: int = 0
+    #: repro.fleet: per-shard deadline-miss rates and offered counts
+    #: (keys ``"shard0"``...), stale reads bounced to primaries,
+    #: router/controller action counts, and the (time_s, active nodes)
+    #: timeline.  All zero/empty on single-server cells;
+    #: seed-deterministic.
+    per_shard_failure: Dict[str, float] = field(default_factory=dict)
+    per_shard_offered: Dict[str, int] = field(default_factory=dict)
+    stale_reads: int = 0
+    fleet_actions: Dict[str, int] = field(default_factory=dict)
+    node_timeline: List[Tuple[float, int]] = field(default_factory=list)
 
     def summary(self) -> str:
         return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
@@ -259,6 +278,11 @@ def run_experiment(config: ExperimentConfig,
     ``config.trace_path`` or ``config.trace_series_path`` implies
     tracing on, since an export was asked for).
     """
+    if config.fleet is not None:
+        # Fleet cells route through repro.fleet (which itself builds on
+        # this module --- hence the local import).
+        from repro.fleet.experiment import run_fleet_experiment
+        return run_fleet_experiment(config, tracer)
     wall_start = perf_clock()
     scheme = scheme_named(config.scheme)
     spec = BENCHMARKS[config.benchmark]()

@@ -36,8 +36,11 @@ from repro.theory.oa import oa_schedule
 from repro.theory.polaris_ideal import polaris_ideal_schedule
 from repro.theory.potential import verify_theorem_4_4
 from repro.theory.yds import yds_energy
+from repro.fleet.config import FleetConfig
 from repro.workloads.tpcc import FIGURE3_AT_1200MHZ, FIGURE3_CALIBRATION
-from repro.workloads.traces import synthesize_worldcup_trace
+from repro.workloads.traces import (
+    normalize, synthesize_diurnal_trace, synthesize_worldcup_trace,
+)
 
 #: Slack values swept in Figures 6-9 and 12.
 DEFAULT_SLACKS = (10, 40, 70, 100)
@@ -128,6 +131,15 @@ def _cell_slug(config: ExperimentConfig) -> str:
     if config.faults is not None:
         parts.append(
             f"faults_{getattr(config.faults, 'name', config.faults)}")
+    if config.fleet is not None:
+        if config.fleet.elastic:
+            parts.append("fleet_elastic")
+        else:
+            active = config.fleet.static_active_replicas
+            if active is None:
+                active = config.fleet.replicas_per_shard
+            nodes = config.fleet.shards * (1 + active)
+            parts.append(f"fleet_static{nodes}")
     return "-".join(str(p).replace("/", "_") for p in parts)
 
 
@@ -698,6 +710,136 @@ def granularity_figure(options: Optional[FigureOptions] = None
         "Frequency-domain granularity: the cost of coarse DVFS "
         "(TPC-C medium load)",
         tuple(options.slacks), series, results)
+
+
+# ----------------------------------------------------------------------
+# Fleet extension: elastic vs static-N provisioning frontier
+# ----------------------------------------------------------------------
+def _step_bins(timeline: Sequence[Tuple[float, float]], start: float,
+               end: float, bins: int) -> List[float]:
+    """Sample a (time, value) step series at ``bins`` bin centres."""
+    if not timeline or bins < 1 or end <= start:
+        return []
+    width = (end - start) / bins
+    values: List[float] = []
+    for i in range(bins):
+        centre = start + (i + 0.5) * width
+        value = timeline[0][1]
+        for time_s, v in timeline:
+            if time_s > centre:
+                break
+            value = v
+        values.append(value)
+    return values
+
+
+@dataclass
+class FleetFrontierResult:
+    """Elastic vs static-N fleet provisioning under a diurnal trace."""
+
+    title: str
+    trace: List[float]
+    peak_rate_tps: float
+    #: cell label -> (avg fleet power W, overall failure rate)
+    summary: Dict[str, Tuple[float, float]]
+    #: cell label -> per-shard deadline-miss rates ("shard0"...)
+    per_shard: Dict[str, Dict[str, float]]
+    #: cell label -> router/controller action counters
+    actions: Dict[str, Dict[str, int]]
+    #: cell label -> (bin centre, watts) fleet power series
+    timelines: Dict[str, List[Tuple[float, float]]]
+    #: cell label -> (time, active nodes) step series
+    node_timelines: Dict[str, List[Tuple[float, int]]]
+    test_start: float
+    test_end: float
+
+    def power(self, label: str) -> float:
+        return self.summary[label][0]
+
+    def failure(self, label: str) -> float:
+        return self.summary[label][1]
+
+    def render(self) -> str:
+        out = [self.title, ""]
+        rows = []
+        for label, (power, failure) in self.summary.items():
+            shard_miss = self.per_shard[label]
+            worst = max(shard_miss.values()) if shard_miss else 0.0
+            acts = self.actions[label]
+            rows.append([
+                label, f"{power:.1f}", f"{failure:.4f}", f"{worst:.4f}",
+                str(acts.get("stale_read_bounces", 0)),
+                f"{acts.get('scale_out', 0)}/{acts.get('scale_in', 0)}",
+            ])
+        out.append(format_table(
+            ["Fleet", "Avg. Power (Watt)", "Failure Rate",
+             "Worst Shard Miss", "Stale Bounces", "Out/In"],
+            rows, title="(b) provisioning frontier"))
+        out.append("")
+        out.append("(a) normalized timelines")
+        out.append("  load  : " + sparkline(self.trace))
+        for label, series in self.timelines.items():
+            out.append(f"  {label:16s} power: "
+                       + sparkline([w for _, w in series]))
+        for label, timeline in self.node_timelines.items():
+            bins = _step_bins(timeline, self.test_start, self.test_end,
+                              max(len(self.trace) // 5, 8))
+            if len(set(bins)) > 1:
+                out.append(f"  {label:16s} nodes: " + sparkline(bins))
+            else:
+                count = bins[0] if bins else 0
+                out.append(f"  {label:16s} nodes: constant {count:g}")
+        return "\n".join(out)
+
+
+def fleet_elastic_frontier(options: Optional[FigureOptions] = None
+                           ) -> FleetFrontierResult:
+    """Fleet extension: elastic autoscaling vs static provisioning.
+
+    A sharded TPC-C fleet (two shards, one read replica each) driven by
+    a 1000x-scaled diurnal trace.  The elastic cell lets the
+    ElasticController park replicas through the troughs and boot them
+    for the peaks; the static-N cells pin the fleet at every
+    provisioning level.  All cells see bit-identical arrivals (load is
+    expressed against the peak-provisioned fleet), so the frontier
+    isolates what node-level scaling buys: elastic power lands strictly
+    below the static peak at equal-or-better per-shard miss rates.
+    Ignores ``--faults`` (fleet cells do not compose with fault plans).
+    """
+    options = options or FigureOptions.from_env()
+    raw = synthesize_diurnal_trace(options.trace_seconds,
+                                   random.Random(options.seed),
+                                   peak_rate_scale=1000.0)
+    trace = normalize(raw)
+    shape = dict(shards=2, replicas_per_shard=1, node_workers=2)
+    fleets = [FleetConfig(elastic=True, **shape)]
+    for active in range(shape["replicas_per_shard"], -1, -1):
+        fleets.append(FleetConfig(elastic=False,
+                                  static_active_replicas=active, **shape))
+    configs = [options.base_config(
+                   benchmark="tpcc", scheme="polaris", slack=60.0,
+                   load_trace=trace, trace_low_fraction=0.1,
+                   trace_high_fraction=0.4, faults=None, fleet=fleet)
+               for fleet in fleets]
+    summary: Dict[str, Tuple[float, float]] = {}
+    per_shard: Dict[str, Dict[str, float]] = {}
+    actions: Dict[str, Dict[str, int]] = {}
+    timelines: Dict[str, List[Tuple[float, float]]] = {}
+    node_timelines: Dict[str, List[Tuple[float, int]]] = {}
+    test_start = options.warmup_seconds
+    test_end = test_start + len(trace)
+    for result in options.run_cells(configs):
+        label = result.scheme_label
+        summary[label] = (result.avg_power_watts, result.failure_rate)
+        per_shard[label] = result.per_shard_failure
+        actions[label] = result.fleet_actions
+        timelines[label] = result.power_timeline
+        node_timelines[label] = result.node_timeline
+    return FleetFrontierResult(
+        "Fleet extension: elastic vs static provisioning "
+        f"(sharded TPC-C, diurnal trace, peak {max(raw):.0f} txn/s)",
+        trace, max(raw), summary, per_shard, actions, timelines,
+        node_timelines, test_start, test_end)
 
 
 # ----------------------------------------------------------------------

@@ -61,6 +61,67 @@ def synthesize_worldcup_trace(duration_seconds: int = 300,
     return series
 
 
+def synthesize_diurnal_trace(duration_seconds: int = 300,
+                             rng: random.Random = None,
+                             seed: int = 2026,
+                             peak_rate_scale: float = 1.0) -> List[float]:
+    """Per-second request-*rate* series (requests/s) over one synthetic day.
+
+    The fleet experiments (ROADMAP: "a production-scale system serving
+    millions of users") need a day-shaped load curve rather than the
+    World Cup trace's match-driven swells.  One diurnal cycle --- night
+    trough, morning ramp, midday plateau, evening peak, late-night
+    fall-off --- is compressed into ``duration_seconds``, overlaid with
+    per-second jitter and a few short flash crowds.
+
+    Unlike :func:`synthesize_worldcup_trace` this returns *absolute*
+    rates, with the unscaled series peaking near 1 request/s.
+    ``peak_rate_scale`` is the fleet tier's "1000x knob": it multiplies
+    the whole series uniformly, so a scale of 1000 models a thousand
+    users behind every unscaled one.  Because every random draw happens
+    before the scale is applied, the normalized *shape* is invariant
+    under scaling (``normalize`` of a scaled series equals the unscaled
+    one to float rounding) and same-seed series are deterministic ---
+    experiments driven by the normalized trace are unchanged while
+    reported absolute rates scale.
+    """
+    if duration_seconds < 1:
+        raise ValueError("duration must be at least one second")
+    if peak_rate_scale <= 0:
+        raise ValueError("peak_rate_scale must be positive")
+    if rng is None:
+        rng = random.Random(seed)
+
+    # Seeded day-to-day variation: where the commute ramp and evening
+    # peak land, and how hard each pushes.
+    morning_centre = rng.uniform(0.30, 0.40)
+    morning_height = rng.uniform(0.40, 0.55)
+    evening_centre = rng.uniform(0.72, 0.82)
+    evening_height = rng.uniform(0.75, 0.95)
+    ripple_phase = rng.uniform(0.0, 2.0 * math.pi)
+
+    # A few flash crowds (launches, pushes) of 3-10 s.
+    bursts = []
+    for _ in range(max(1, duration_seconds // 120)):
+        start = rng.uniform(0.15 * duration_seconds, duration_seconds)
+        bursts.append((start, start + rng.uniform(3.0, 10.0),
+                       rng.uniform(0.10, 0.25)))
+
+    series: List[float] = []
+    for t in range(duration_seconds):
+        x = t / duration_seconds  # fraction of the compressed day
+        value = 0.08  # night trough floor
+        value += morning_height * math.exp(-((x - morning_centre) / 0.13) ** 2)
+        value += evening_height * math.exp(-((x - evening_centre) / 0.10) ** 2)
+        value += 0.03 * math.sin(6.0 * math.pi * x + ripple_phase)
+        for start, end, lift in bursts:
+            if start <= t < end:
+                value += lift
+        value += rng.gauss(0.0, 0.02)
+        series.append(max(0.02, value) * peak_rate_scale)
+    return series
+
+
 def load_trace(lines: Iterable[str]) -> List[float]:
     """Parse a one-number-per-line request-count trace and normalize it.
 

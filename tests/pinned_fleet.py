@@ -1,0 +1,104 @@
+"""Pinned fleet cells: the elastic-vs-static acceptance pair.
+
+The fleet PR's headline claim is quantitative: on a 1000x-scaled
+diurnal trace, the elastic fleet's mean power lands strictly below the
+static peak-provisioned fleet at equal-or-better per-shard deadline-miss
+rates, and same-seed runs are bit-identical.  This module defines the
+cell grid that claim is measured on and a fingerprint extending the
+PR-6 one with the fleet result fields; ``tests/data/pinned_fleet.json``
+holds the captured goldens.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python tests/pinned_fleet.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+from pinned_cells import fingerprint as base_fingerprint
+
+from repro.fleet.config import FleetConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.workloads.traces import normalize, synthesize_diurnal_trace
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                         "pinned_fleet.json")
+
+#: The acceptance trace: 16 virtual seconds of the diurnal shape,
+#: scaled to absolute rates by 1000x (the tentpole's "1000x-scaled
+#: diurnal trace"), then normalized for the harness's low..high
+#: fraction mapping.
+TRACE_SECONDS = 16
+TRACE_SEED = 7
+PEAK_RATE_SCALE = 1000.0
+
+
+def acceptance_trace():
+    raw = synthesize_diurnal_trace(TRACE_SECONDS,
+                                   random.Random(TRACE_SEED),
+                                   peak_rate_scale=PEAK_RATE_SCALE)
+    return normalize(raw)
+
+
+def _diurnal_cell(fleet: FleetConfig) -> ExperimentConfig:
+    return ExperimentConfig(
+        benchmark="tpcc", scheme="polaris", slack=60.0,
+        warmup_seconds=0.5, drain_limit_seconds=5.0, seed=11,
+        load_trace=acceptance_trace(), trace_low_fraction=0.1,
+        trace_high_fraction=0.4, trace=False, fleet=fleet)
+
+
+def elastic_cell() -> ExperimentConfig:
+    return _diurnal_cell(FleetConfig(elastic=True))
+
+
+def static_peak_cell() -> ExperimentConfig:
+    return _diurnal_cell(FleetConfig(elastic=False))
+
+
+def pinned_grid():
+    """The acceptance pair plus a read-heavy replica-serving cell."""
+    ycsb = ExperimentConfig(
+        benchmark="ycsb-b", scheme="polaris", slack=40.0,
+        warmup_seconds=0.3, test_seconds=1.0, seed=13, trace=False,
+        fleet=FleetConfig(shards=1, replicas_per_shard=2,
+                          node_workers=2, elastic=False))
+    return {
+        "fleet-elastic-diurnal": elastic_cell(),
+        "fleet-static-peak-diurnal": static_peak_cell(),
+        "fleet-ycsb-b-replicas": ycsb,
+    }
+
+
+def fingerprint(result) -> str:
+    """PR-6 fingerprint plus the fleet-specific result fields."""
+    fleet_fields = dict(
+        per_shard_failure=sorted(result.per_shard_failure.items()),
+        per_shard_offered=sorted(result.per_shard_offered.items()),
+        stale_reads=result.stale_reads,
+        fleet_actions=sorted(result.fleet_actions.items()),
+        node_timeline=result.node_timeline,
+    )
+    return base_fingerprint(result) + "+" + repr(fleet_fields)
+
+
+def capture() -> dict:
+    return {label: fingerprint(run_experiment(config))
+            for label, config in pinned_grid().items()}
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        pins = capture()
+        with open(DATA_PATH, "w") as handle:
+            json.dump(pins, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(pins)} fleet pins to {DATA_PATH}")
+    else:
+        print(__doc__)

@@ -7,7 +7,8 @@ import pytest
 from repro.sim.engine import Simulator
 from repro.workloads.arrivals import OpenLoopGenerator, RateSchedule
 from repro.workloads.traces import (
-    load_trace, normalize, scale_trace, synthesize_worldcup_trace,
+    load_trace, normalize, scale_trace, synthesize_diurnal_trace,
+    synthesize_worldcup_trace,
 )
 
 
@@ -166,3 +167,55 @@ def test_load_trace_parses_and_normalizes():
 def test_load_trace_empty_rejected():
     with pytest.raises(ValueError):
         load_trace(["# only a comment"])
+
+
+# ----------------------------------------------------------------------
+# Diurnal trace (fleet experiments)
+# ----------------------------------------------------------------------
+def test_diurnal_trace_shape():
+    trace = synthesize_diurnal_trace(600, random.Random(0))
+    assert len(trace) == 600
+    assert all(v > 0.0 for v in trace)
+    # Unscaled rates peak near 1.0 (requests/s) over the evening swell.
+    assert 0.6 <= max(trace) <= 1.5
+    # Day-shaped dynamic range: troughs well below the peak.
+    assert min(trace) < 0.25 * max(trace)
+
+
+def test_diurnal_trace_deterministic_by_seed():
+    a = synthesize_diurnal_trace(120, random.Random(7))
+    b = synthesize_diurnal_trace(120, random.Random(7))
+    c = synthesize_diurnal_trace(120, random.Random(8))
+    assert a == b
+    assert a != c
+    # The seed= parameter is an alias for a fresh Random(seed).
+    assert synthesize_diurnal_trace(120, seed=7) \
+        == synthesize_diurnal_trace(120, random.Random(7))
+
+
+def test_diurnal_peak_rate_scale_is_exact():
+    """Scaling multiplies every per-second rate, nothing else."""
+    base = synthesize_diurnal_trace(200, random.Random(3))
+    scaled = synthesize_diurnal_trace(200, random.Random(3),
+                                      peak_rate_scale=1000.0)
+    assert scaled == pytest.approx([v * 1000.0 for v in base])
+
+
+def test_diurnal_normalized_shape_invariant_under_scaling():
+    """The property the fleet figure depends on: the normalized load
+    shape fed to the harness does not depend on the absolute scale
+    (all RNG draws happen before the scale factor is applied)."""
+    for scale in (7.0, 1000.0, 1e6):
+        a = normalize(synthesize_diurnal_trace(150, random.Random(5)))
+        b = normalize(synthesize_diurnal_trace(
+            150, random.Random(5), peak_rate_scale=scale))
+        assert b == pytest.approx(a, abs=1e-9)
+
+
+def test_diurnal_trace_validation():
+    with pytest.raises(ValueError):
+        synthesize_diurnal_trace(0)
+    with pytest.raises(ValueError):
+        synthesize_diurnal_trace(100, peak_rate_scale=0.0)
+    with pytest.raises(ValueError):
+        synthesize_diurnal_trace(100, peak_rate_scale=-2.0)

@@ -45,6 +45,22 @@ def test_fig10_structure():
     assert "Failure Rate" in rendered
 
 
+def test_fleet_frontier_structure():
+    result = figures.fleet_elastic_frontier(TINY)
+    labels = set(result.summary)
+    assert any("elastic" in label for label in labels)
+    assert any("static" in label for label in labels)
+    assert len(result.trace) == TINY.trace_seconds
+    assert result.peak_rate_tps > 100.0  # 1000x-scaled diurnal peak
+    for label in labels:
+        assert result.power(label) > 0
+        assert 0 <= result.failure(label) <= 1
+        assert set(result.per_shard[label]) == {"shard0", "shard1"}
+    rendered = result.render()
+    assert "provisioning frontier" in rendered
+    assert "Stale Bounces" in rendered
+
+
 def test_fig11_structure():
     result = figures.fig11_differentiation(TINY)
     assert ("POLARIS", "gold") in result.failures
@@ -89,7 +105,7 @@ def test_cli_parser():
     assert args.workers == 4
     assert set(COMMANDS) >= {"fig3", "fig6", "fig7", "fig8", "fig9",
                              "fig10", "fig11", "fig12", "theory",
-                             "overhead"}
+                             "overhead", "fleet"}
 
 
 def test_cli_runs_theory(capsys):

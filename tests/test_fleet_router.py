@@ -1,0 +1,120 @@
+"""ClusterRouter: sharding, replica reads, stale-read bounces."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.fleet.node import Node, NodeState, PRIMARY, REPLICA
+from repro.fleet.router import ClusterRouter, ShardState, read_only_types
+from repro.sim.engine import Simulator
+
+WORKLOAD = Workload("w", 0.050)
+
+
+def make_node(sim, node_id, role=REPLICA, lag_s=0.05, start_parked=False):
+    server = DatabaseServer(sim, ServerConfig(workers=1,
+                                              request_handlers=1))
+    return Node(sim, node_id, 0, role, server, parked_floor_watts=4.0,
+                replication_lag_s=lag_s if role == REPLICA else 0.0,
+                start_parked=start_parked)
+
+
+def make_shard(sim, replicas=1, **kwargs):
+    primary = make_node(sim, 0, role=PRIMARY)
+    nodes = [make_node(sim, 1 + i, **kwargs) for i in range(replicas)]
+    return ShardState(0, primary, nodes)
+
+
+def request(sim, txn="Write"):
+    return Request(WORKLOAD, txn, sim.now, 2.8e-3)
+
+
+def test_read_only_types_per_family():
+    assert read_only_types("tpcc") == {"OrderStatus", "StockLevel"}
+    assert "TradeStatus" in read_only_types("tpce")
+    assert read_only_types("ycsb-b") == {"Read", "Scan"}
+    with pytest.raises(ValueError):
+        read_only_types("tpch")
+
+
+def test_writes_go_to_primary_and_advance_the_write_clock(sim):
+    shard = make_shard(sim)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    target = router.route(request(sim, "Write"), key=0)
+    assert target is shard.primary
+    assert shard.last_write_s == 0.0
+    assert router.decision_counts()["routed_writes"] == 1
+
+
+def test_fresh_read_served_by_replica(sim):
+    shard = make_shard(sim, lag_s=0.05)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    # No write ever happened: the replica cannot be stale.
+    target = router.route(request(sim, "Read"), key=0)
+    assert target is shard.replicas[0]
+    assert router.replica_reads == 1
+    assert router.stale_read_bounces == 0
+
+
+def test_stale_read_bounces_to_primary(sim):
+    shard = make_shard(sim, lag_s=0.05)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    router.route(request(sim, "Write"), key=0)
+    sim.schedule(0.01, lambda: None)
+    sim.run()  # 10 ms later: still inside the 50 ms apply lag
+    target = router.route(request(sim, "Read"), key=0)
+    assert target is shard.primary
+    assert router.stale_read_bounces == 1
+    assert shard.stale_read_bounces == 1
+    sim.schedule(0.1, lambda: None)
+    sim.run()  # beyond the lag: the replica caught up
+    assert router.route(request(sim, "Read"), key=0) \
+        is shard.replicas[0]
+    assert router.replica_reads == 1
+
+
+def test_read_falls_back_to_primary_without_active_replicas(sim):
+    shard = make_shard(sim, start_parked=True)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    target = router.route(request(sim, "Read"), key=0)
+    assert target is shard.primary
+    assert router.replica_fallbacks == 1
+
+
+def test_round_robin_skips_inactive_replicas(sim):
+    shard = make_shard(sim, replicas=3, lag_s=0.0)
+    shard.replicas[1]._transition(NodeState.PARKED)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    served = [router.route(request(sim, "Read"), key=0).node_id
+              for _ in range(4)]
+    assert served == [1, 3, 1, 3]  # node 2 is parked
+
+
+def test_key_sharding_is_modulo(sim):
+    shards = [make_shard(sim), make_shard(sim)]
+    shards[1].shard_id = 1
+    router = ClusterRouter(sim, shards, frozenset())
+    router.route(request(sim), key=5)
+    assert shards[1].offered == 1 and shards[0].offered == 0
+    router.route(request(sim), key=4)
+    assert shards[0].offered == 1
+
+
+def test_requests_actually_execute_on_the_target(sim):
+    shard = make_shard(sim)
+    router = ClusterRouter(sim, [shard], frozenset({"Read"}))
+    write = request(sim, "Write")
+    read = request(sim, "Read")
+    router.route(write, key=0)
+    router.route(read, key=0)  # stale (lag 50 ms) -> primary too
+    sim.run()
+    assert write.finish_time is not None
+    assert read.finish_time is not None
+    assert shard.primary.server.submitted == 2
+    assert shard.replicas[0].server.submitted == 0
+
+
+def test_router_needs_a_shard(sim):
+    with pytest.raises(ValueError):
+        ClusterRouter(sim, [], frozenset())

@@ -202,6 +202,44 @@ def test_drain_runs_queues_empty(sim):
     assert all(w.idle for w in server.workers)
 
 
+def test_drain_timeout_is_virtual_time(sim):
+    """``drain(timeout=...)`` bounds *virtual* seconds, and the error
+    names the workers still holding work."""
+    from repro.db.server import DrainTimeout
+    server, _ = make_server(sim, workers=2)
+    # Worker 0: a 10-virtual-second transaction plus one queued behind.
+    submit_n(server, 1, work=28.0)
+    sim.run(until=1e-4)  # request handler hop: let it start executing
+    submit_n(server, 2, work=28.0)
+    with pytest.raises(DrainTimeout) as excinfo:
+        server.drain(timeout=0.5)
+    message = str(excinfo.value)
+    assert "0.5 virtual seconds" in message
+    assert "worker 0" in message
+    assert "queued=1" in message
+    # Virtual time advanced to (at least) the deadline, not past the
+    # undrainable work.
+    assert 0.5 <= sim.now < 10.0
+
+
+def test_drain_timeout_leaves_idle_workers_out_of_the_report(sim):
+    from repro.db.server import DrainTimeout
+    server, _ = make_server(sim, workers=2)
+    submit_n(server, 1, work=28.0)  # lands on worker 0 only
+    sim.run(until=1e-4)
+    with pytest.raises(DrainTimeout) as excinfo:
+        server.drain(timeout=0.2)
+    assert "worker 1" not in str(excinfo.value)
+
+
+def test_drain_generous_timeout_succeeds(sim):
+    server, _ = make_server(sim, workers=1)
+    submit_n(server, 3, work=2.8e-3)  # ~1 ms each
+    server.drain(timeout=60.0)
+    assert all(w.idle for w in server.workers)
+    assert sim.now < 1.0
+
+
 def test_config_validation(sim):
     with pytest.raises(ValueError):
         DatabaseServer(sim, ServerConfig(workers=0))

@@ -38,6 +38,12 @@ RL009     Suppression hygiene: a ``# reprolint: disable`` comment
           reports suppressions that silenced nothing as unused.  The
           code is special-cased so a blanket/reasonless comment cannot
           silence the finding about itself.
+RL120     Fault-plan serializer round-trip: every ``*Spec`` dataclass
+          in ``repro.faults.plan`` must be reconstructed by
+          ``FaultPlan.from_dict``.  A spec class the deserializer never
+          names silently vanishes from plans that cross a JSON
+          boundary (``REPRO_FAULTS`` files, the sweep cache), breaking
+          the byte-determinism contract for chaos cells.
 ========  =============================================================
 
 Suppress a deliberate exception with
@@ -516,6 +522,54 @@ class DataclassSlotsRule(LintRule):
                     f"but is neither frozen nor slotted; add "
                     f"`frozen=True` or `slots=True` (3.10+) so hot-path "
                     f"state cannot grow accidental attributes")
+
+
+# ----------------------------------------------------------------------
+# RL120 --- fault-plan spec serializer round-trip
+# ----------------------------------------------------------------------
+#: The one file this rule audits: the fault-plan vocabulary module.
+RL120_PLAN_FILE = "faults/plan.py"
+
+
+@register
+class SpecRoundTripRule(LintRule):
+    code = "RL120"
+    name = "spec-roundtrip"
+    description = ("*Spec dataclass in repro.faults.plan that "
+                   "FaultPlan.from_dict never reconstructs (the spec "
+                   "would vanish over a JSON round-trip)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel != RL120_PLAN_FILE:
+            return
+        spec_classes: Dict[str, ast.ClassDef] = {}
+        from_dict: Optional[ast.AST] = None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.endswith("Spec") and \
+                    _dataclass_decorator(node, ctx) is not None:
+                spec_classes[node.name] = node
+            if node.name == "FaultPlan":
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)) \
+                            and stmt.name == "from_dict":
+                        from_dict = stmt
+        if not spec_classes:
+            return
+        referenced = set()
+        if from_dict is not None:
+            referenced = {n.id for n in ast.walk(from_dict)
+                          if isinstance(n, ast.Name)}
+        for name in sorted(spec_classes):
+            if name not in referenced:
+                yield self.finding(
+                    ctx, spec_classes[name],
+                    f"`{name}` is part of the fault-plan vocabulary but "
+                    f"FaultPlan.from_dict never reconstructs it; plans "
+                    f"carrying it would not survive to_dict/from_dict "
+                    f"(REPRO_FAULTS JSON files, the sweep cache)")
 
 
 # ----------------------------------------------------------------------

@@ -113,6 +113,13 @@ class LogManager:
     def buffered_count(self) -> int:
         return len(self._buffer)
 
+    @property
+    def buffered_commits(self) -> int:
+        """COMMIT records sitting in the not-yet-forced tail --- the
+        transactions a crash right now would un-commit (the fleet
+        tier's lost-commit metric reads this at crash time)."""
+        return sum(1 for r in self._buffer if r.kind == KIND_COMMIT)
+
     def crash(self) -> List[LogRecord]:
         """Simulate a crash: drop the buffered tail, return the survivors."""
         self._buffer.clear()
@@ -122,6 +129,23 @@ class LogManager:
     @property
     def last_durable_lsn(self) -> int:
         return self._durable[-1].lsn if self._durable else 0
+
+    def discard_after(self, lsn: int) -> int:
+        """Drop durable records with ``lsn`` *above* the given LSN and
+        clear the buffer; returns how many durable records were cut.
+
+        The failover trim: a promoted replica only applied the durable
+        prefix through its caught-up LSN, so the shard's authoritative
+        log must end exactly there --- records beyond it (durable on
+        the dead primary, never shipped) are the lost-commit gap, not
+        recoverable history.
+        """
+        keep = [r for r in self._durable if r.lsn <= lsn]
+        cut = len(self._durable) - len(keep)
+        self._durable = keep
+        self._buffer.clear()
+        self._pending_commits = 0
+        return cut
 
     def truncate_through(self, lsn: int) -> int:
         """Drop durable records with ``lsn`` at or below the given LSN

@@ -140,6 +140,68 @@ class SkewSpec:
         _check_window(self.start_s, self.end_s)
 
 
+@dataclass(frozen=True)
+class NodeCrashSpec:
+    """Fail-stop crash of fleet nodes at ``at_s`` (fleet cells only).
+
+    A crashed node stops cold: its in-flight and queued requests die
+    with it, its wall draw drops to zero, and the buffered-but-unforced
+    tail of its shard's WAL is lost via ``LogManager.crash()`` --- the
+    group-commit window is exactly the durability hole this spec
+    exposes.  ``nodes`` names target node ids; the empty tuple means
+    the *primary of every shard* (the crash-per-shard chaos plan the
+    acceptance test pins).
+    """
+
+    at_s: float
+    nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError("crash time cannot be negative")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Replication partition: replicas stop acking during a window.
+
+    During ``[start_s, end_s)`` the affected shards' replicas apply
+    nothing new --- their applied-LSN freezes and their effective lag
+    grows without bound, so every read routed to them is stale and
+    bounces (or is served degraded when the primary is down).  The
+    partition heals at ``end_s``.  ``shards`` names affected shard ids;
+    empty means every shard.
+    """
+
+    start_s: float
+    end_s: float
+    shards: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        _check_window(self.start_s, self.end_s)
+
+
+@dataclass(frozen=True)
+class ReplicaLagSpec:
+    """Slow follower: extra apply lag on replicas during a window.
+
+    ``extra_lag_s`` is added on top of each affected replica's seeded
+    base lag --- the overloaded-apply-thread failure mode, milder than
+    a partition.  ``nodes`` names affected node ids; empty means every
+    replica.
+    """
+
+    start_s: float
+    end_s: float
+    extra_lag_s: float = 0.25
+    nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.extra_lag_s <= 0:
+            raise ValueError("extra lag must be positive")
+        _check_window(self.start_s, self.end_s)
+
+
 def _check_window(start_s: float, end_s: float) -> None:
     if start_s < 0 or end_s <= start_s:
         raise ValueError(
@@ -221,6 +283,11 @@ class FaultPlan:
     stalls: Tuple[StallSpec, ...] = ()
     bursts: Tuple[BurstSpec, ...] = ()
     skews: Tuple[SkewSpec, ...] = ()
+    #: Fleet-scope faults (fleet cells only; single-server cells reject
+    #: plans carrying any of these).
+    node_crashes: Tuple[NodeCrashSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    replica_lags: Tuple[ReplicaLagSpec, ...] = ()
     degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
     #: Human-readable scenario name (reports and trace annotations).
     name: str = "custom"
@@ -230,8 +297,22 @@ class FaultPlan:
     def is_empty(self) -> bool:
         """True when attaching this plan cannot change a run."""
         return not (self.msr_faults or self.throttles or self.stalls
-                    or self.bursts or self.skews
+                    or self.bursts or self.skews or self.node_crashes
+                    or self.partitions or self.replica_lags
                     or self.degradation.any_enabled)
+
+    @property
+    def has_fleet_faults(self) -> bool:
+        """True when the plan carries cluster-scope faults (fleet only)."""
+        return bool(self.node_crashes or self.partitions
+                    or self.replica_lags)
+
+    @property
+    def has_server_faults(self) -> bool:
+        """True when the plan carries single-server faults (bursts are
+        load-side and run at either tier, so they count for neither)."""
+        return bool(self.msr_faults or self.throttles or self.stalls
+                    or self.skews)
 
     def without_degradation(self) -> "FaultPlan":
         """The same faults with every resilience mechanism disarmed
@@ -278,6 +359,9 @@ class FaultPlan:
             stalls=self.stalls + other.stalls,
             bursts=self.bursts + other.bursts,
             skews=self.skews + other.skews,
+            node_crashes=self.node_crashes + other.node_crashes,
+            partitions=self.partitions + other.partitions,
+            replica_lags=self.replica_lags + other.replica_lags,
             degradation=degradation,
             name=f"{self.name}+{other.name}",
         )
@@ -295,8 +379,12 @@ class FaultPlan:
             specs = []
             for entry in entries:
                 entry = dict(entry)
-                if "workers" in entry:
-                    entry["workers"] = tuple(entry["workers"])
+                # JSON round-trips tuples as lists; restore every
+                # id-tuple field (reprolint RL120 audits that each
+                # *Spec class survives this path).
+                for ids_field in ("workers", "nodes", "shards"):
+                    if ids_field in entry:
+                        entry[ids_field] = tuple(entry[ids_field])
                 specs.append(spec_cls(**entry))
             return tuple(specs)
 
@@ -307,6 +395,9 @@ class FaultPlan:
             stalls=tup("stalls", StallSpec),
             bursts=tup("bursts", BurstSpec),
             skews=tup("skews", SkewSpec),
+            node_crashes=tup("node_crashes", NodeCrashSpec),
+            partitions=tup("partitions", PartitionSpec),
+            replica_lags=tup("replica_lags", ReplicaLagSpec),
             degradation=degradation,
             name=str(payload.get("name", "custom")),
         )
@@ -367,6 +458,7 @@ def plan_fingerprint(faults: FaultsLike = None) -> Optional[str]:
 
 __all__ = [
     "FAULTS_ENV", "BurstSpec", "DegradationPolicy", "FaultPlan",
-    "FaultsLike", "MsrFaultSpec", "SkewSpec", "StallSpec", "ThrottleSpec",
+    "FaultsLike", "MsrFaultSpec", "NodeCrashSpec", "PartitionSpec",
+    "ReplicaLagSpec", "SkewSpec", "StallSpec", "ThrottleSpec",
     "plan_fingerprint", "resolve_fault_plan",
 ]

@@ -17,12 +17,17 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 from repro.faults.plan import (
-    BurstSpec, DegradationPolicy, FaultPlan, MsrFaultSpec, StallSpec,
-    ThrottleSpec,
+    BurstSpec, DegradationPolicy, FaultPlan, MsrFaultSpec, NodeCrashSpec,
+    PartitionSpec, ReplicaLagSpec, StallSpec, ThrottleSpec,
 )
 
 _START_S = 0.5
 _END_S = 6.0
+
+#: Fleet chaos opens later: node crashes at 1.5 s so every fleet cell's
+#: measurement window (warmup 0.5--1.0 s) is already open when the
+#: primaries die, and the failover timeline lands inside it.
+_CRASH_AT_S = 1.5
 
 
 def burst() -> FaultPlan:
@@ -71,6 +76,37 @@ def dying_core() -> FaultPlan:
         name="dying-core")
 
 
+def shard_crash() -> FaultPlan:
+    """Crash-per-shard: every shard's primary fail-stops at 1.5 s.
+
+    Fleet cells only.  With failover enabled the heartbeat detects each
+    crash, promotes the most-caught-up replica after a durable-WAL
+    replay, and the fleet ends with zero unserved shards; without
+    failover every shard's write path is dead for the rest of the run
+    --- the availability contrast the acceptance test pins.
+    """
+    return FaultPlan(node_crashes=(NodeCrashSpec(at_s=_CRASH_AT_S),),
+                     name="shard-crash")
+
+
+def partition() -> FaultPlan:
+    """Replication partition: every shard's replicas stop applying for
+    [1.5 s, 6 s).  Reads bounce to the primaries for the whole window
+    (unbounded staleness), then the partition heals."""
+    return FaultPlan(partitions=(PartitionSpec(_CRASH_AT_S, _END_S),),
+                     name="partition")
+
+
+def slow_follower() -> FaultPlan:
+    """Slow follower: every replica's apply lag grows by 250 ms during
+    [0.5 s, 6 s) --- the overloaded-apply-thread brownout, milder than a
+    partition."""
+    return FaultPlan(
+        replica_lags=(ReplicaLagSpec(_START_S, _END_S,
+                                     extra_lag_s=0.25),),
+        name="slow-follower")
+
+
 #: name -> plan factory.  Factories (not instances) so callers can never
 #: mutate the library's plans (FaultPlan is frozen, but its tuples are
 #: rebuilt fresh per call anyway).
@@ -81,9 +117,24 @@ SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
     "dying-core": dying_core,
 }
 
+#: Fleet-scope scenarios, kept out of :data:`SCENARIOS` because they
+#: only run in fleet cells (a single-server cell rejects their plans);
+#: :func:`scenario_named` resolves both registries.
+FLEET_SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
+    "shard-crash": shard_crash,
+    "partition": partition,
+    "slow-follower": slow_follower,
+}
+
 
 def scenario_names() -> Tuple[str, ...]:
+    """Single-server scenario names (every one runs in a plain cell)."""
     return tuple(sorted(SCENARIOS))
+
+
+def fleet_scenario_names() -> Tuple[str, ...]:
+    """Fleet-only scenario names (need ``config.fleet`` to run)."""
+    return tuple(sorted(FLEET_SCENARIOS))
 
 
 def scenario_named(spec: str) -> FaultPlan:
@@ -94,11 +145,12 @@ def scenario_named(spec: str) -> FaultPlan:
         raise ValueError(f"empty fault-scenario spec {spec!r}")
     plans = []
     for part in parts:
-        factory = SCENARIOS.get(part)
+        factory = SCENARIOS.get(part) or FLEET_SCENARIOS.get(part)
         if factory is None:
+            known = scenario_names() + fleet_scenario_names()
             raise ValueError(
                 f"unknown fault scenario {part!r}; known scenarios: "
-                f"{', '.join(scenario_names())}")
+                f"{', '.join(known)}")
         plans.append(factory())
     merged = plans[0]
     for plan in plans[1:]:
@@ -106,5 +158,7 @@ def scenario_named(spec: str) -> FaultPlan:
     return merged
 
 
-__all__ = ["SCENARIOS", "brownout", "burst", "dying_core",
-           "scenario_named", "scenario_names", "sticky_pstate"]
+__all__ = ["FLEET_SCENARIOS", "SCENARIOS", "brownout", "burst",
+           "dying_core", "fleet_scenario_names", "partition",
+           "scenario_named", "scenario_names", "shard_crash",
+           "slow_follower", "sticky_pstate"]

@@ -11,22 +11,42 @@ windowed per-shard load --- the paper's race-to-idle argument applied
 to nodes instead of cores.  :func:`run_fleet_experiment` runs one fleet
 cell through the standard harness methodology; reach it by setting the
 ``fleet`` field of :class:`~repro.harness.experiment.ExperimentConfig`.
+
+PR 9 adds the failure model: :class:`FleetFaultInjector` schedules a
+fault plan's node crashes / partitions / replica-lag windows onto the
+virtual clock against the per-shard WAL-and-apply model
+(:class:`ShardReplication`), :class:`FailoverManager` heartbeats the
+shards and promotes the most-caught-up replica after a durable-WAL
+replay, and an armed router self-heals with circuit breakers, bounded
+retry-with-backoff, and optional hedged reads ---
+see DESIGN.md, "Fleet failure model".
 """
 
+from repro.fleet.chaos import FleetFaultInjector, ShardReplication
 from repro.fleet.config import FleetConfig
 from repro.fleet.controller import ElasticController
+from repro.fleet.failover import AvailabilityTracker, FailoverManager
 from repro.fleet.node import Fleet, Node, NodeState, PRIMARY, REPLICA
-from repro.fleet.router import ClusterRouter, ShardState, read_only_types
+from repro.fleet.router import (
+    ClusterRouter, NoActiveNodeError, RouterPolicy, ShardState,
+    read_only_types,
+)
 
 __all__ = [
+    "AvailabilityTracker",
     "ClusterRouter",
     "ElasticController",
+    "FailoverManager",
     "Fleet",
     "FleetConfig",
+    "FleetFaultInjector",
+    "NoActiveNodeError",
     "Node",
     "NodeState",
     "PRIMARY",
     "REPLICA",
+    "RouterPolicy",
+    "ShardReplication",
     "ShardState",
     "read_only_types",
 ]

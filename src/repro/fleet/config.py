@@ -63,6 +63,40 @@ class FleetConfig:
     #: Keys are drawn uniformly from [0, keyspace) and sharded modulo.
     keyspace: int = 4096
 
+    # -- failure model / failover (chaos cells) ------------------------
+    #: Run the heartbeat detector + primary-failover machinery when the
+    #: fault plan crashes nodes.  Off = the no-failover baseline: a
+    #: crashed primary's shard sheds writes for the rest of the run.
+    failover_enabled: bool = True
+    #: Heartbeat cadence on the virtual clock; a crash is detected on
+    #: the first tick at least ``heartbeat_timeout_s`` after it.
+    heartbeat_interval_s: float = 0.05
+    heartbeat_timeout_s: float = 0.2
+    #: Promotion replays the caught-up durable WAL prefix on the new
+    #: primary: a fixed mount/analysis cost plus a per-record redo cost.
+    replay_fixed_s: float = 0.05
+    replay_per_record_s: float = 0.0002
+    #: Commits per group-commit force on each shard's primary WAL ---
+    #: the durability window a crash can lose (Shore-MT's default is
+    #: 100; fleet chaos cells default lower so the acceptance runs
+    #: exercise real loss without needing thousands of writes).
+    group_commit_size: int = 8
+
+    # -- self-healing router (armed only under a chaos plan) -----------
+    #: Consecutive routing failures that trip a node's breaker open.
+    breaker_failure_threshold: int = 3
+    #: Open -> half-open probe delay on the virtual clock.
+    breaker_reset_s: float = 0.5
+    #: Bounded retry-with-backoff when a shard has no active target:
+    #: retry ``k`` re-routes ``route_retry_backoff_s * 2**k`` later;
+    #: after the last retry the request is shed.  0 disables retries
+    #: (every no-active-node routing sheds immediately).
+    route_retry_limit: int = 3
+    route_retry_backoff_s: float = 0.05
+    #: Hedge reads onto the less-loaded of the two next active replicas
+    #: (power-of-two-choices stand-in for duplicate-and-race hedging).
+    hedged_reads: bool = False
+
     # -- elastic controller --------------------------------------------
     controller_interval_s: float = 0.5
     #: Window of per-tick arrival counts the utilization signal averages.
@@ -106,6 +140,20 @@ class FleetConfig:
                              "(the hysteresis band)")
         if self.controller_cooldown_ticks < 0:
             raise ValueError("cooldown cannot be negative")
+        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat cadence must be positive")
+        if self.replay_fixed_s < 0 or self.replay_per_record_s < 0:
+            raise ValueError("replay costs cannot be negative")
+        if self.group_commit_size < 1:
+            raise ValueError("group commit size must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if self.breaker_reset_s <= 0:
+            raise ValueError("breaker reset delay must be positive")
+        if self.route_retry_limit < 0:
+            raise ValueError("route retry limit cannot be negative")
+        if self.route_retry_backoff_s <= 0:
+            raise ValueError("route retry backoff must be positive")
 
     def provisioned_nodes(self) -> int:
         """Node count at peak provisioning (primaries + all replicas)."""

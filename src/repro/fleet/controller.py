@@ -129,6 +129,13 @@ class ElasticController:
                   if r.state is NodeState.ACTIVE]
         if len(active) <= self.config.min_active_replicas:
             return
+        if shard.primary.state is not NodeState.ACTIVE and len(active) <= 1:
+            # The primary is crashed (or still warming after a
+            # failover boot): this replica is the shard's only serving
+            # node --- and the only promotion candidate.  Parking it
+            # would strand the shard, so scale-in waits until the
+            # primary is healthy again.
+            return
         victim = active[-1]
         victim.begin_drain(self._migrate_off, self.config.drain_grace_s,
                            self.config.drain_poll_s)

@@ -31,10 +31,15 @@ from repro.core.request import Request
 from repro.core.workload import WorkloadManager
 from repro.cpu.topology import SocketTopology, make_topology
 from repro.db.server import DatabaseServer, ServerConfig
+from repro.faults.plan import resolve_fault_plan
+from repro.fleet.chaos import FleetFaultInjector, ShardReplication
 from repro.fleet.config import FleetConfig
 from repro.fleet.controller import ElasticController
-from repro.fleet.node import Fleet, Node, PRIMARY, REPLICA
-from repro.fleet.router import ClusterRouter, ShardState, read_only_types
+from repro.fleet.failover import AvailabilityTracker, FailoverManager
+from repro.fleet.node import Fleet, Node, NodeState, PRIMARY, REPLICA
+from repro.fleet.router import (
+    ClusterRouter, RouterPolicy, ShardState, read_only_types,
+)
 from repro.governors.base import GovernorSet
 from repro.harness.experiment import (
     BENCHMARKS, ExperimentConfig, ExperimentResult, _train_estimator,
@@ -42,7 +47,7 @@ from repro.harness.experiment import (
 )
 from repro.harness.profiling import perf_clock
 from repro.harness.schemes import scheme_named
-from repro.metrics.latency import LatencyRecorder, WorkloadStats
+from repro.metrics.latency import LatencyRecorder, WorkloadStats, percentile
 from repro.metrics.power import PowerMeter
 from repro.obs.export import export_chrome_trace, export_series_csv
 from repro.obs.metrics import MetricRegistry, MetricsSampler
@@ -113,9 +118,26 @@ def run_fleet_experiment(config: ExperimentConfig,
     if fleet_config is None:
         raise ValueError("run_fleet_experiment needs config.fleet")
     fleet_config.validate()
-    if config.faults is not None:
-        raise ValueError("fleet cells do not compose with fault plans "
-                         "yet; unset config.faults")
+    # repro.faults: fleet cells take fleet-scope fault plans (node
+    # crashes, partitions, replica lag) plus load-side bursts; the
+    # single-server fault classes act below the node abstraction and do
+    # not compose with fleets.
+    plan = resolve_fault_plan(config.faults)
+    if plan is not None and plan.is_empty:
+        plan = None
+    if plan is not None:
+        if plan.has_server_faults:
+            raise ValueError(
+                "the fault plan carries single-server faults "
+                "(MSR/throttle/stall/skew), which do not compose with "
+                "fleet cells; use fleet faults (node crashes, "
+                "partitions, replica lag) or bursts instead")
+        if plan.degradation.any_enabled:
+            raise ValueError(
+                "fleet cells do not arm the single-server degradation "
+                "policy of a fault plan; the fleet's self-healing "
+                "router and failover machinery play that role")
+    chaos_armed = plan is not None and plan.has_fleet_faults
     if config.workload_policy != "per-type":
         raise ValueError("fleet cells support the per-type workload "
                          "policy only")
@@ -161,8 +183,8 @@ def run_fleet_experiment(config: ExperimentConfig,
         _train_estimator(estimator, manager, spec,
                          server_config.scheduler_frequencies, config,
                          streams.get("fleet-training"))
-    router = ClusterRouter(sim, shards,
-                           read_only_types(config.benchmark))
+    read_types = read_only_types(config.benchmark)
+    router = ClusterRouter(sim, shards, read_types)
 
     # ------------------------------------------------------------------
     # Offered load, against the peak-provisioned fleet
@@ -180,6 +202,18 @@ def run_fleet_experiment(config: ExperimentConfig,
         schedule = None
         target = effective_load_fraction(config.load_fraction) * fleet_peak
         rate_fn = lambda _now: target  # noqa: E731 - tiny adapter
+
+    if plan is not None and plan.bursts:
+        # Same arithmetic as FaultInjector.wrap_rate, against the
+        # fleet-wide offered rate.
+        base_rate_fn, bursts = rate_fn, plan.bursts
+
+        def rate_fn(now_s: float) -> float:
+            rate = base_rate_fn(now_s)
+            for spec in bursts:
+                if spec.start_s <= now_s < spec.end_s:
+                    rate *= spec.multiplier
+            return rate
 
     service_rng = streams.get_batched("fleet-service-times")
     mix_rng = streams.get_batched("fleet-mix")
@@ -238,6 +272,65 @@ def run_fleet_experiment(config: ExperimentConfig,
         server.add_rejection_listener(
             partial(_shard_failure, node.shard_id))
 
+    # ------------------------------------------------------------------
+    # Chaos cells only: replication/WAL model, self-healing router,
+    # fault injection, and (when enabled) the failover machinery.
+    # Healthy cells build none of this, so they stay byte-identical to
+    # the pinned PR 8 runs.
+    # ------------------------------------------------------------------
+    replication: Dict[int, ShardReplication] = {}
+    tracker: Optional[AvailabilityTracker] = None
+    failover: Optional[FailoverManager] = None
+    fleet_injector: Optional[FleetFaultInjector] = None
+    if chaos_armed:
+        replication = {
+            shard.shard_id: ShardReplication(
+                sim, shard.shard_id, fleet_config.group_commit_size)
+            for shard in shards}
+        tracker = AvailabilityTracker(sim,
+                                      [s.shard_id for s in shards])
+        write_seq = {shard.shard_id: 0 for shard in shards}
+
+        def _log_write(node: Node, request: Request) -> None:
+            # Completed writes reach the shard's WAL iff this node is
+            # the shard's primary *now* (role at completion time, so a
+            # promoted replica starts logging the moment it takes over).
+            shard = shards[node.shard_id]
+            if request.txn_type in read_types or shard.primary is not node:
+                return
+            write_seq[node.shard_id] += 1
+            replication[node.shard_id].on_write_committed(
+                write_seq[node.shard_id])
+
+        for node in fleet.nodes:
+            node.server.add_completion_listener(partial(_log_write, node))
+
+        def _on_shed(request: Request, shard_id: int) -> None:
+            # Retry-exhausted (or end-of-run flushed) requests: offered
+            # and rejected, the unavailability the availability figure
+            # charges against the baseline.
+            recorder.on_rejection(request)
+            _shard_failure(shard_id, request)
+
+        def _on_crash(node: Node, lost: List[Request]) -> None:
+            for request in lost:
+                recorder.on_lost(request)
+                _shard_failure(node.shard_id, request)
+            if shards[node.shard_id].primary is node:
+                tracker.mark_down(node.shard_id)
+
+        fleet_injector = FleetFaultInjector(sim, plan, fleet, shards,
+                                            replication, _on_crash)
+        router.arm_self_healing(RouterPolicy.from_config(fleet_config),
+                                _on_shed,
+                                fleet_injector.effective_lag_s)
+        fleet_injector.attach()
+        if fleet_config.failover_enabled:
+            failover = FailoverManager(sim, fleet, shards, replication,
+                                       fleet_config, tracker,
+                                       streams.get("fleet-failover"))
+            failover.start()
+
     meter_interval = min(config.meter_interval, test_duration / 4.0)
     meter = PowerMeter(sim, fleet.wall_energy,
                        streams.get("fleet-meter-noise"),
@@ -280,6 +373,12 @@ def run_fleet_experiment(config: ExperimentConfig,
         if not sim.step():
             break
     meter.stop()
+    if failover is not None:
+        failover.stop()
+    if router.policy is not None:
+        # Requests still waiting on a scheduled retry at the drain
+        # limit will never route; shed them so the books close.
+        router.flush_pending_retries()
     # Anything still queued when the drain limit passes will never
     # finish; count it offered-and-missed rather than censoring.
     for node in fleet.nodes:
@@ -326,6 +425,39 @@ def run_fleet_experiment(config: ExperimentConfig,
     fleet_actions["boots"] = sum(n.boots for n in fleet.nodes)
     fleet_actions["drains"] = sum(n.drains for n in fleet.nodes)
 
+    availability: Dict[str, float] = {}
+    failover_timeline: List[Tuple[float, int, str, int]] = []
+    lost_commits = 0
+    failovers = 0
+    mttr_s = 0.0
+    unserved_shards = 0
+    faults_injected = 0
+    if chaos_armed:
+        assert tracker is not None and fleet_injector is not None
+        availability = {
+            f"shard{shard_id}": fraction for shard_id, fraction in
+            tracker.availability(test_start, test_end).items()}
+        lost_commits = sum(r.lost_commits for r in replication.values())
+        # Shards whose write path is still down when the run ends ---
+        # the metric the chaos acceptance pins: zero with failover,
+        # positive for the no-failover baseline.
+        unserved_shards = sum(
+            1 for shard in shards
+            if shard.primary.state is not NodeState.ACTIVE)
+        faults_injected = fleet_injector.total_injected
+        fleet_actions["node_crashes"] = \
+            fleet_injector.injected["node_crash"]
+        if failover is not None:
+            failovers = failover.failovers
+            mttr_s = failover.mean_mttr_s
+            failover_timeline = list(failover.timeline)
+            fleet_actions["failovers"] = failover.failovers
+            fleet_actions["replayed_records"] = failover.records_replayed
+    all_latencies = [latency for stats in recorder.per_workload.values()
+                     for latency in stats.latencies]
+    p999_latency_s = percentile(all_latencies, 99.9) \
+        if all_latencies else 0.0
+
     if fleet_config.elastic:
         fleet_label = "elastic"
     else:
@@ -367,11 +499,19 @@ def run_fleet_experiment(config: ExperimentConfig,
         wall_seconds=perf_clock() - wall_start,
         trace_events=trace_event_count,
         lost=recorder.total_lost,
+        faults_injected=faults_injected,
         per_shard_failure=per_shard_failure,
         per_shard_offered=per_shard_offered,
         stale_reads=router.stale_read_bounces,
         fleet_actions=fleet_actions,
         node_timeline=list(fleet.node_timeline),
+        availability=availability,
+        lost_commits=lost_commits,
+        failovers=failovers,
+        mttr_s=mttr_s,
+        unserved_shards=unserved_shards,
+        p999_latency_s=p999_latency_s,
+        failover_timeline=failover_timeline,
     )
 
 

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional
 
 from repro.analysis.sanitizer import invariant
 from repro.db.server import DatabaseServer
+from repro.faults.resilience import drain_worker_queue
 from repro.sim.engine import Simulator
 
 #: Node roles.
@@ -39,13 +40,16 @@ class NodeState(enum.Enum):
     ``parked -> warming`` (unpark; boot latency runs),
     ``warming -> active`` (boot complete),
     ``active -> draining`` (controller parks a replica; queues migrate),
-    ``draining -> parked`` (in-flight work finished, grace elapsed).
+    ``draining -> parked`` (in-flight work finished, grace elapsed),
+    ``any powered state -> crashed`` (fail-stop; terminal --- recovery
+    is failover to a sibling, never reboot of the corpse).
     """
 
     WARMING = "warming"
     ACTIVE = "active"
     DRAINING = "draining"
     PARKED = "parked"
+    CRASHED = "crashed"
 
 
 class Node:
@@ -83,6 +87,11 @@ class Node:
             else server.wall_energy()
         self.boots = 0
         self.drains = 0
+        #: Fail-stop bookkeeping (chaos cells): requests that died on
+        #: this node when it crashed, and the crash instant (None while
+        #: healthy) the heartbeat detector measures its timeout from.
+        self.lost_on_crash = 0
+        self.crashed_at_s: Optional[float] = None
         self.tracer = sim.tracer
         self.trace_track = self.tracer.track("fleet", f"node-{node_id}")
 
@@ -97,12 +106,16 @@ class Node:
         """Instantaneous node draw (W)."""
         if self.state is NodeState.PARKED:
             return self.parked_floor_watts
+        if self.state is NodeState.CRASHED:
+            return 0.0  # fail-stop: the PSU is as dead as the node
         return self.server.wall_power()
 
     def energy_joules_at(self, now_s: float) -> float:
         """Node energy consumed up to ``now_s`` (J)."""
         if self.state is NodeState.PARKED:
             open_j = self.parked_floor_watts * (now_s - self._segment_start_s)
+        elif self.state is NodeState.CRASHED:
+            open_j = 0.0
         else:
             open_j = self.server.wall_energy() - self._server_energy_base_j
         return self._segment_energy_j + open_j
@@ -113,6 +126,8 @@ class Node:
         if self.state is NodeState.PARKED:
             self._segment_energy_j += \
                 self.parked_floor_watts * (now_s - self._segment_start_s)
+        elif self.state is NodeState.CRASHED:
+            pass  # a crashed segment integrates to zero
         else:
             self._segment_energy_j += \
                 self.server.wall_energy() - self._server_energy_base_j
@@ -175,6 +190,41 @@ class Node:
             self.sim.schedule(poll_s, lambda: self._try_park(poll_s))
             return
         self._transition(NodeState.PARKED)
+
+    def promote(self) -> None:
+        """Replica -> primary (failover): the promoted node accepts the
+        shard's writes and serves reads with zero apply lag from here
+        on.  Only an active node can be promoted."""
+        if self.state is not NodeState.ACTIVE:
+            raise RuntimeError(f"cannot promote {self!r}")
+        self.role = PRIMARY
+        self.replication_lag_s = 0.0
+
+    def crash(self) -> List:
+        """Fail-stop: the node dies mid-instruction, returning the
+        requests that died with it (queued plus in-flight).
+
+        Every core stalls (banking nothing useful: the completion event
+        is cancelled and never rescheduled), the queues are emptied, and
+        --- like queue migration --- each dead request's ``submitted``
+        credit leaves the server with it, so per-node and fleet books
+        stay balanced; the caller accounts the corpses as losses.
+        Idempotent: crashing a crashed node is a no-op.
+        """
+        if self.state is NodeState.CRASHED:
+            return []
+        lost: List = []
+        for worker in self.server.workers:
+            lost.extend(drain_worker_queue(worker))
+            if worker.current is not None:
+                lost.append(worker.current)
+                worker.current = None
+            worker.core.stall()
+        self.server.submitted -= len(lost)
+        self.lost_on_crash += len(lost)
+        self.crashed_at_s = self.sim.now
+        self._transition(NodeState.CRASHED)
+        return lost
 
 
 class Fleet:
@@ -240,8 +290,11 @@ class Fleet:
         instant, exactly one of: completed, rejected, in flight, or
         queued --- summed across nodes, so cross-node queue migration
         (which moves both the request and its ``submitted`` credit)
-        can neither lose nor double-count.  Per-node books are audited
-        too, since migration keeps them individually balanced."""
+        can neither lose nor double-count.  A crash moves the dead
+        requests' credit out the same way (``Node.crash`` returns the
+        corpses for the experiment to count as losses), so the books
+        balance through fail-stops too.  Per-node books are audited
+        as well, since migration keeps them individually balanced."""
         submitted = sum(n.server.submitted for n in self.nodes)
         completed = sum(w.completed for n in self.nodes
                         for w in n.server.workers)

@@ -44,6 +44,7 @@ COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "resilience": lambda o: figures.resilience_figure(o),
     "granularity": lambda o: figures.granularity_figure(o),
     "fleet": lambda o: figures.fleet_elastic_frontier(o),
+    "availability": lambda o: figures.availability_figure(o),
 }
 
 
@@ -76,8 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "('burst', 'brownout', 'sticky-pstate', "
                              "'dying-core', '+'-compositions like "
                              "'burst+brownout', or a plan JSON path); the "
-                             "'resilience' figure supplies its own "
-                             "scenario axis and ignores this")
+                             "'resilience' and 'availability' figures "
+                             "supply their own scenarios and ignore this")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear-cache", action="store_true",

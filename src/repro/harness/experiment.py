@@ -218,6 +218,23 @@ class ExperimentResult:
     stale_reads: int = 0
     fleet_actions: Dict[str, int] = field(default_factory=dict)
     node_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: repro.fleet chaos/failover (PR 9): per-shard write-path
+    #: availability over the test window (keys ``"shard0"``...),
+    #: committed transactions lost to crashes (buffered WAL tails plus
+    #: never-shipped durable records trimmed at promotion), completed
+    #: failovers and their mean MTTR, shards whose write path was still
+    #: down at end of run, p99.9 latency of test-window completions, and
+    #: the (time_s, shard_id, event, node_id) failover timeline.  All
+    #: zero/empty on healthy and single-server cells;
+    #: seed-deterministic.
+    availability: Dict[str, float] = field(default_factory=dict)
+    lost_commits: int = 0
+    failovers: int = 0
+    mttr_s: float = 0.0
+    unserved_shards: int = 0
+    p999_latency_s: float = 0.0
+    failover_timeline: List[Tuple[float, int, str, int]] = \
+        field(default_factory=list)
 
     def summary(self) -> str:
         return (f"{self.scheme_label:28s} power={self.avg_power_watts:6.1f} W"
@@ -291,6 +308,11 @@ def run_experiment(config: ExperimentConfig,
     # none).  Everything fault-related below is gated on `plan is not
     # None`, so a healthy run touches no fault code path at all.
     plan = resolve_fault_plan(config.faults)
+    if plan is not None and plan.has_fleet_faults:
+        raise ValueError(
+            "the fault plan carries fleet faults (node crashes / "
+            "partitions / replica lag) but this is a single-server "
+            "cell; set config.fleet to run it as a fleet")
     if tracer is None:
         want_trace = config.trace
         if want_trace is None and (config.trace_path

@@ -26,7 +26,10 @@ from repro.harness.parallel import SweepRunner
 from repro.harness.profiling import perf_clock
 from repro.harness.profiling import TimingReport
 from repro.harness.schemes import FIGURE_BASELINE_SCHEMES, VARIANT_SCHEMES
-from repro.metrics.report import format_series, format_table, sparkline
+from repro.metrics.report import (
+    availability_record, availability_table, format_series, format_table,
+    sparkline,
+)
 from repro.theory.instances import (
     adversarial_pair, random_agreeable_instance, random_instance,
 )
@@ -804,7 +807,8 @@ def fleet_elastic_frontier(options: Optional[FigureOptions] = None
     expressed against the peak-provisioned fleet), so the frontier
     isolates what node-level scaling buys: elastic power lands strictly
     below the static peak at equal-or-better per-shard miss rates.
-    Ignores ``--faults`` (fleet cells do not compose with fault plans).
+    Pins ``faults=None``: this frontier is the healthy reference the
+    availability figure's chaos cells are held against.
     """
     options = options or FigureOptions.from_env()
     raw = synthesize_diurnal_trace(options.trace_seconds,
@@ -840,6 +844,106 @@ def fleet_elastic_frontier(options: Optional[FigureOptions] = None
         f"(sharded TPC-C, diurnal trace, peak {max(raw):.0f} txn/s)",
         trace, max(raw), summary, per_shard, actions, timelines,
         node_timelines, test_start, test_end)
+
+
+# ----------------------------------------------------------------------
+# Fleet availability: crash-per-shard chaos vs the failover machinery
+# ----------------------------------------------------------------------
+#: Cells of the availability figure, all on the same diurnal trace and
+#: fleet shape as the provisioning frontier: the healthy reference, the
+#: failover-enabled fleet under the crash-per-shard plan, the
+#: no-failover baseline under the same plan, and a hot-spare variant
+#: (``min_active_replicas=1``) that prices keeping a warm promotion
+#: candidate per shard.
+AVAILABILITY_CELLS = ("healthy", "failover", "no-failover", "hot-spare")
+
+
+@dataclass
+class AvailabilityResult:
+    """MTTR / lost commits / tail latency / power per chaos cell."""
+
+    title: str
+    #: cell name -> :func:`repro.metrics.report.availability_record`.
+    records: Dict[str, Dict[str, object]]
+    #: cell name -> (time_s, shard_id, event, node_id) failover events.
+    timelines: Dict[str, List[Tuple[float, int, str, int]]]
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def record(self, cell: str) -> Dict[str, object]:
+        return self.records[cell]
+
+    def render(self) -> str:
+        out = [self.title, ""]
+        out.append(availability_table(
+            [self.records[cell] for cell in AVAILABILITY_CELLS
+             if cell in self.records]))
+        healthy = self.records.get("healthy")
+        failover = self.records.get("failover")
+        if healthy and failover:
+            healthy_w = float(healthy["avg_power_watts"])  # type: ignore[arg-type]
+            chaos_w = float(failover["avg_power_watts"])  # type: ignore[arg-type]
+            out.append("")
+            out.append(f"failover power delta vs healthy: "
+                       f"{chaos_w - healthy_w:+.1f} W "
+                       f"({(chaos_w / healthy_w - 1.0) * 100.0:+.2f}%)")
+        for cell, timeline in self.timelines.items():
+            if not timeline:
+                continue
+            steps = " ".join(f"{t:.2f}s:{event}(s{shard}->n{node})"
+                             for t, shard, event, node in timeline)
+            out.append(f"  {cell} failover timeline: {steps}")
+        return "\n".join(out)
+
+
+def availability_figure(options: Optional[FigureOptions] = None
+                        ) -> AvailabilityResult:
+    """Fleet availability under the crash-per-shard chaos plan.
+
+    The same sharded TPC-C fleet and diurnal trace as
+    :func:`fleet_elastic_frontier`, with the ``shard-crash`` scenario
+    fail-stopping every shard's primary mid-run.  The failover cell
+    detects each crash by heartbeat timeout, promotes the most-caught-up
+    replica after a durable-WAL replay, and ends with zero unserved
+    shards; the no-failover baseline sheds every write to a crashed
+    shard for the rest of the run (availability goes to the crash
+    point's fraction of the window).  The hot-spare cell holds one
+    active replica per shard (``min_active_replicas=1``) so a promotion
+    candidate is always warm --- its power premium is the figure's
+    cost-of-availability axis.
+    """
+    options = options or FigureOptions.from_env()
+    raw = synthesize_diurnal_trace(options.trace_seconds,
+                                   random.Random(options.seed),
+                                   peak_rate_scale=1000.0)
+    trace = normalize(raw)
+    shape = dict(shards=2, replicas_per_shard=1, node_workers=2)
+    cells = [
+        ("healthy", FleetConfig(elastic=True, **shape), None),
+        ("failover", FleetConfig(elastic=True, **shape), "shard-crash"),
+        ("no-failover",
+         FleetConfig(elastic=True, failover_enabled=False, **shape),
+         "shard-crash"),
+        ("hot-spare",
+         FleetConfig(elastic=True, min_active_replicas=1, **shape),
+         "shard-crash"),
+    ]
+    configs = [options.base_config(
+                   benchmark="tpcc", scheme="polaris", slack=60.0,
+                   load_trace=trace, trace_low_fraction=0.1,
+                   trace_high_fraction=0.4, faults=faults, fleet=fleet)
+               for _name, fleet, faults in cells]
+    results = options.run_cells(configs)
+    records: Dict[str, Dict[str, object]] = {}
+    timelines: Dict[str, List[Tuple[float, int, str, int]]] = {}
+    for (name, _fleet, _faults), result in zip(cells, results):
+        record = availability_record(result)
+        record["label"] = name
+        records[name] = record
+        timelines[name] = list(result.failover_timeline)
+    return AvailabilityResult(
+        "Fleet availability: crash-per-shard chaos "
+        f"(sharded TPC-C, diurnal trace, peak {max(raw):.0f} txn/s)",
+        records, timelines, results)
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,7 @@ consistent across benches.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -47,6 +47,53 @@ def format_series(label: str, xs: Sequence, ys: Sequence[float],
         raise ValueError("xs and ys must have equal length")
     pairs = " ".join(f"{x}={y_format.format(y)}" for x, y in zip(xs, ys))
     return f"{label}: {pairs}"
+
+
+#: Schema version of :func:`availability_record`.  Bump only on
+#: incompatible changes; consumers (e.g. a future
+#: ``repro.analysis.healthcheck``) key on it to stay forward-safe.
+AVAILABILITY_SCHEMA_VERSION = 1
+
+
+def availability_record(result) -> Dict[str, object]:
+    """One chaos/failover run as a flat, JSON-serializable record.
+
+    ``result`` is an :class:`~repro.harness.experiment.ExperimentResult`
+    (duck-typed to avoid importing the harness from the metrics tier).
+    The record carries the availability figure's row --- MTTR, lost
+    commits, unavailability, tail latency, power --- under a pinned
+    ``schema`` version so downstream analysis can consume stored
+    records without schema drift.
+    """
+    shard_availability = dict(sorted(result.availability.items()))
+    return {
+        "schema": AVAILABILITY_SCHEMA_VERSION,
+        "label": result.scheme_label,
+        "seed": result.config.seed,
+        "failovers": result.failovers,
+        "mttr_s": result.mttr_s,
+        "lost_commits": result.lost_commits,
+        "unserved_shards": result.unserved_shards,
+        "availability_min": (min(shard_availability.values())
+                             if shard_availability else 1.0),
+        "availability_by_shard": shard_availability,
+        "p999_latency_s": result.p999_latency_s,
+        "avg_power_watts": result.avg_power_watts,
+        "failure_rate": result.failure_rate,
+        "lost_requests": result.lost,
+    }
+
+
+def availability_table(records: Sequence[Dict[str, object]]) -> str:
+    """Render :func:`availability_record` rows as the availability
+    figure's ASCII table."""
+    headers = ("cell", "avail(min)", "MTTR s", "lost txns",
+               "unserved", "p99.9 s", "power W")
+    rows = [(r["label"], f"{r['availability_min']:.4f}",
+             f"{r['mttr_s']:.3f}", r["lost_commits"],
+             r["unserved_shards"], f"{r['p999_latency_s']:.3f}",
+             f"{r['avg_power_watts']:.1f}") for r in records]
+    return format_table(headers, rows, title="Availability under chaos")
 
 
 def sparkline(values: Sequence[float], width: int = 60) -> str:

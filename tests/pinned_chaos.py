@@ -1,0 +1,90 @@
+"""Pinned chaos cells: crash-per-shard failover acceptance.
+
+The PR 9 acceptance claim is quantitative: on the same 1000x-scaled
+diurnal trace the PR 8 frontier is pinned on, a seeded crash-per-shard
+plan (``shard-crash``: every primary fail-stops at 1.5 s) leaves the
+failover-enabled elastic fleet with **zero unserved shards** and a
+bounded lost-commit count, keeps mean power bounded by the healthy
+elastic point (fail-stopped nodes draw nothing, so surviving the crash
+costs no extra power over the PR 8 frontier), and produces a
+byte-identical failover timeline on same-seed reruns --- while the
+no-failover baseline ends the run with every shard's write path still
+down and availability near zero.
+
+``tests/data/pinned_chaos.json`` holds the captured fingerprints.
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python tests/pinned_chaos.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+from pinned_fleet import _diurnal_cell, fingerprint as fleet_fingerprint
+
+from repro.fleet.config import FleetConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                         "pinned_chaos.json")
+
+#: The chaos plan every pinned cell runs under (repro.faults scenario:
+#: every shard's primary fail-stops at 1.5 s, mid-test-window).
+CHAOS_SCENARIO = "shard-crash"
+
+
+def failover_cell() -> ExperimentConfig:
+    """The elastic acceptance cell under crash-per-shard, failover on."""
+    config = _diurnal_cell(FleetConfig(elastic=True))
+    config.faults = CHAOS_SCENARIO
+    return config
+
+
+def no_failover_cell() -> ExperimentConfig:
+    """Same crashes, failover machinery off: the availability baseline."""
+    config = _diurnal_cell(FleetConfig(elastic=True,
+                                       failover_enabled=False))
+    config.faults = CHAOS_SCENARIO
+    return config
+
+
+def pinned_grid():
+    return {
+        "chaos-failover-diurnal": failover_cell(),
+        "chaos-no-failover-diurnal": no_failover_cell(),
+    }
+
+
+def fingerprint(result) -> str:
+    """Fleet fingerprint plus the chaos/failover result fields."""
+    chaos_fields = dict(
+        availability=sorted(result.availability.items()),
+        lost_commits=result.lost_commits,
+        failovers=result.failovers,
+        mttr_s=result.mttr_s,
+        unserved_shards=result.unserved_shards,
+        p999_latency_s=result.p999_latency_s,
+        failover_timeline=result.failover_timeline,
+        faults_injected=result.faults_injected,
+    )
+    return fleet_fingerprint(result) + "+" + repr(chaos_fields)
+
+
+def capture() -> dict:
+    return {label: fingerprint(run_experiment(config))
+            for label, config in pinned_grid().items()}
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        pins = capture()
+        with open(DATA_PATH, "w") as handle:
+            json.dump(pins, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(pins)} chaos pins to {DATA_PATH}")
+    else:
+        print(__doc__)

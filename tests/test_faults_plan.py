@@ -4,9 +4,13 @@ import pytest
 
 from repro.faults.plan import (
     FAULTS_ENV, BurstSpec, DegradationPolicy, FaultPlan, MsrFaultSpec,
-    SkewSpec, StallSpec, ThrottleSpec, plan_fingerprint, resolve_fault_plan,
+    NodeCrashSpec, PartitionSpec, ReplicaLagSpec, SkewSpec, StallSpec,
+    ThrottleSpec, plan_fingerprint, resolve_fault_plan,
 )
-from repro.faults.scenarios import SCENARIOS, scenario_named, scenario_names
+from repro.faults.scenarios import (
+    FLEET_SCENARIOS, SCENARIOS, fleet_scenario_names, scenario_named,
+    scenario_names,
+)
 
 
 # ----------------------------------------------------------------------
@@ -189,3 +193,77 @@ def test_scenario_library_contents():
         plan = scenario_named(name)
         assert plan.name == name
         assert not plan.is_empty
+
+
+# ----------------------------------------------------------------------
+# Fleet-scope specs (PR 9)
+# ----------------------------------------------------------------------
+def _fleet_plan() -> FaultPlan:
+    return FaultPlan(
+        node_crashes=(NodeCrashSpec(at_s=1.5, nodes=(0, 2)),
+                      NodeCrashSpec(at_s=2.0)),
+        partitions=(PartitionSpec(1.0, 4.0, shards=(1,)),),
+        replica_lags=(ReplicaLagSpec(0.5, 6.0, extra_lag_s=0.25,
+                                     nodes=(3,)),),
+        name="fleet-sink")
+
+
+def test_fleet_spec_validation():
+    with pytest.raises(ValueError):
+        NodeCrashSpec(at_s=-0.1)
+    with pytest.raises(ValueError):
+        PartitionSpec(2.0, 2.0)
+    with pytest.raises(ValueError):
+        ReplicaLagSpec(0.0, 1.0, extra_lag_s=0.0)
+    NodeCrashSpec(at_s=0.0)  # a crash at t=0 is legal
+
+
+def test_fleet_plan_json_roundtrip():
+    plan = _fleet_plan()
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    # JSON turns the id tuples into lists; from_dict restores them.
+    assert isinstance(restored.node_crashes[0].nodes, tuple)
+    assert isinstance(restored.partitions[0].shards, tuple)
+    assert isinstance(restored.replica_lags[0].nodes, tuple)
+    assert restored.fingerprint() == plan.fingerprint()
+
+
+def test_fleet_faults_show_in_the_tier_predicates():
+    plan = _fleet_plan()
+    assert plan.has_fleet_faults and not plan.has_server_faults
+    assert not plan.is_empty
+    server = scenario_named("brownout")
+    assert server.has_server_faults and not server.has_fleet_faults
+    # Bursts are load-side: they run at either tier.
+    burst_only = scenario_named("burst").without_degradation()
+    assert not burst_only.has_fleet_faults
+    assert not burst_only.has_server_faults
+
+
+def test_merged_with_unions_fleet_faults():
+    merged = _fleet_plan().merged_with(scenario_named("shard-crash"))
+    assert len(merged.node_crashes) == 3
+    assert len(merged.partitions) == 1
+    assert len(merged.replica_lags) == 1
+    assert merged.has_fleet_faults
+    assert merged.name == "fleet-sink+shard-crash"
+
+
+def test_fleet_scenario_registry():
+    assert set(fleet_scenario_names()) == set(FLEET_SCENARIOS)
+    # Fleet scenarios stay out of the single-server registry (property
+    # tests iterate scenario_names() against plain cells).
+    assert not set(FLEET_SCENARIOS) & set(SCENARIOS)
+    for name in fleet_scenario_names():
+        plan = scenario_named(name)
+        assert plan.name == name
+        assert plan.has_fleet_faults
+        assert not plan.has_server_faults
+
+
+def test_shard_crash_scenario_targets_every_primary():
+    plan = scenario_named("shard-crash")
+    (crash,) = plan.node_crashes
+    assert crash.nodes == ()  # empty tuple = the primary of every shard
+    assert crash.at_s == 1.5

@@ -164,6 +164,34 @@ def test_in_motion_shard_takes_no_further_action(sim):
     assert controller.actions["scale_out"] == 0
 
 
+def test_crashed_primary_pins_the_last_active_replica(sim):
+    """Regression: with the primary crashed, the shard's last active
+    replica is its only serving node and only promotion candidate ---
+    idle or not, scale-in must never park it."""
+    fleet, shard, router, controller = build(sim)
+    shard.primary.crash()
+    controller.start()
+    advance(sim, 2.0)  # no load: a healthy shard would park everything
+    controller.stop()
+    assert controller.actions["scale_in"] == 1
+    survivors = [r for r in shard.replicas
+                 if r.state is NodeState.ACTIVE]
+    assert len(survivors) == 1
+
+
+def test_warming_primary_pins_the_last_active_replica(sim):
+    """Same guard while the primary is still booting (a failover spare
+    that has not come active yet)."""
+    fleet, shard, router, controller = build(sim)
+    shard.primary._transition(NodeState.WARMING)
+    controller.start()
+    advance(sim, 2.0)
+    controller.stop()
+    assert controller.actions["scale_in"] == 1
+    assert sum(r.state is NodeState.ACTIVE
+               for r in shard.replicas) == 1
+
+
 def test_min_active_replicas_floor(sim):
     config = FleetConfig(
         shards=1, replicas_per_shard=2, node_workers=1,

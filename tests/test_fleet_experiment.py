@@ -120,9 +120,37 @@ def test_run_experiment_dispatches_on_fleet_field():
     assert set(result.per_shard_failure) == {"shard0"}
 
 
-def test_fleet_rejects_fault_plans():
+def test_fleet_rejects_server_tier_fault_plans():
     with pytest.raises(ValueError, match="fault"):
         run_experiment(_quick_fleet_config(faults="burst"))
+    with pytest.raises(ValueError, match="fault"):
+        run_experiment(_quick_fleet_config(faults="dying-core"))
+
+
+def test_single_server_rejects_fleet_fault_plans():
+    config = ExperimentConfig(warmup_seconds=0.2, test_seconds=0.5,
+                              faults="shard-crash")
+    with pytest.raises(ValueError, match="fleet"):
+        run_experiment(config)
+
+
+def test_quick_chaos_cell_arms_the_self_healing_router():
+    """A crash-per-shard plan on a 1-shard fleet: the chaos machinery
+    wires up end to end even at smoke scale."""
+    config = _quick_fleet_config(faults="shard-crash")
+    config.test_seconds = 2.5  # the scenario crashes primaries at 1.5 s
+    config.fleet = FleetConfig(shards=1, replicas_per_shard=1,
+                               node_workers=1, elastic=False,
+                               heartbeat_timeout_s=0.1)
+    result = run_experiment(config)
+    assert result.faults_injected == 1
+    assert result.fleet_actions["node_crashes"] == 1
+    assert result.fleet_actions["failovers"] == 1
+    assert result.unserved_shards == 0
+    assert result.failovers == 1
+    assert 0.0 < result.availability["shard0"] < 1.0
+    # The armed router's counters surface on the result.
+    assert "retries" in result.fleet_actions or result.failovers == 1
 
 
 def test_fleet_rejects_tier_policy():

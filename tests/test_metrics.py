@@ -1,5 +1,6 @@
 """Power meter, latency recorder, report formatting."""
 
+import json
 import random
 
 import pytest
@@ -8,7 +9,10 @@ from repro.core.request import Request
 from repro.core.workload import Workload
 from repro.metrics.latency import LatencyRecorder, percentile
 from repro.metrics.power import PowerMeter
-from repro.metrics.report import format_series, format_table, sparkline
+from repro.metrics.report import (
+    AVAILABILITY_SCHEMA_VERSION, availability_record, availability_table,
+    format_series, format_table, sparkline,
+)
 from repro.sim.engine import Simulator
 
 
@@ -229,3 +233,51 @@ def test_sparkline():
     assert line[0] == " " and line[-1] == "@"
     long = sparkline(list(range(100)), width=10)
     assert len(long) == 10
+
+
+# ----------------------------------------------------------------------
+# Availability records (the versioned chaos/failover schema)
+# ----------------------------------------------------------------------
+class _StubConfig:
+    seed = 11
+
+
+class _StubResult:
+    """Duck-typed stand-in for an ExperimentResult chaos cell."""
+
+    config = _StubConfig()
+    scheme_label = "fleet-elastic POLARIS"
+    availability = {"shard1": 0.95, "shard0": 0.97}
+    failovers = 2
+    mttr_s = 0.43
+    lost_commits = 6
+    unserved_shards = 0
+    p999_latency_s = 0.353
+    avg_power_watts = 218.3
+    failure_rate = 0.014
+    lost = 2
+
+
+def test_availability_record_schema():
+    record = availability_record(_StubResult())
+    assert record["schema"] == AVAILABILITY_SCHEMA_VERSION
+    assert record["label"] == "fleet-elastic POLARIS"
+    assert record["seed"] == 11
+    assert record["availability_min"] == 0.95
+    # Shard keys come out sorted for stable serialization.
+    assert list(record["availability_by_shard"]) == ["shard0", "shard1"]
+    json.dumps(record)  # the record must be JSON-serializable as-is
+
+
+def test_availability_record_with_no_shards_is_fully_available():
+    stub = _StubResult()
+    stub.availability = {}
+    assert availability_record(stub)["availability_min"] == 1.0
+
+
+def test_availability_table_renders_the_records():
+    text = availability_table([availability_record(_StubResult())])
+    assert "Availability under chaos" in text
+    assert "fleet-elastic POLARIS" in text
+    assert "0.9500" in text  # avail(min)
+    assert "218.3" in text

@@ -273,8 +273,50 @@ def test_select_restricts_rules():
     assert codes(src, select=["RL001"]) == ["RL001"]
 
 
+# ----------------------------------------------------------------------
+# RL120 fault-plan spec round-trip
+# ----------------------------------------------------------------------
+PLAN_PATH = "src/repro/faults/plan.py"
+
+RL120_ORPHAN = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class OrphanSpec:\n"
+    "    at_s: float = 0.0\n"
+    "@dataclass(frozen=True)\n"
+    "class UsedSpec:\n"
+    "    at_s: float = 0.0\n"
+    "class FaultPlan:\n"
+    "    @classmethod\n"
+    "    def from_dict(cls, payload):\n"
+    "        return cls(used=UsedSpec(**payload))\n")
+
+
+def test_rl120_flags_spec_missing_from_deserializer():
+    findings = lint_source(RL120_ORPHAN, path=PLAN_PATH)
+    assert [f.code for f in findings] == ["RL120"]
+    assert "OrphanSpec" in findings[0].message
+
+
+def test_rl120_scopes_to_the_plan_module():
+    assert codes(RL120_ORPHAN, path=SIM) == []
+
+
+def test_rl120_quiet_when_every_spec_round_trips():
+    source = RL120_ORPHAN.replace(
+        "return cls(used=UsedSpec(**payload))",
+        "return cls(used=UsedSpec(**payload), o=OrphanSpec())")
+    assert codes(source, path=PLAN_PATH) == []
+
+
+def test_rl120_real_plan_module_is_clean():
+    findings = lint_paths([Path("src/repro/faults/plan.py")])
+    assert [f for f in findings if f.code == "RL120"] == []
+
+
 def test_registry_has_the_per_file_rules():
-    assert sorted(RULE_REGISTRY) == [f"RL00{i}" for i in range(1, 10)]
+    assert sorted(RULE_REGISTRY) == \
+        [f"RL00{i}" for i in range(1, 10)] + ["RL120"]
 
 
 # ----------------------------------------------------------------------

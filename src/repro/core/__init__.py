@@ -26,6 +26,7 @@ from repro.core.workload import Workload, WorkloadManager
 from repro.core.estimator import ExecutionTimeEstimator, SlidingWindowPercentile
 from repro.core.polaris import PolarisScheduler
 from repro.core.variants import PolarisFifoNoArriveScheduler, PolarisFifoScheduler
+from repro.core.online import AvrScheduler, OnlineSpeedScaler, QoaScheduler
 
 __all__ = [
     "Request", "RequestState",
@@ -33,4 +34,5 @@ __all__ = [
     "ExecutionTimeEstimator", "SlidingWindowPercentile",
     "PolarisScheduler",
     "PolarisFifoScheduler", "PolarisFifoNoArriveScheduler",
+    "OnlineSpeedScaler", "QoaScheduler", "AvrScheduler",
 ]

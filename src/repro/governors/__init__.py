@@ -20,9 +20,11 @@ from repro.governors.base import Governor, DynamicGovernor, GovernorSet
 from repro.governors.static import PerformanceGovernor, PowersaveGovernor, UserspaceGovernor
 from repro.governors.ondemand import OnDemandGovernor
 from repro.governors.conservative import ConservativeGovernor
+from repro.governors.nonclairvoyant import NonclairvoyantScheduler
 
 __all__ = [
     "Governor", "DynamicGovernor", "GovernorSet",
     "PerformanceGovernor", "PowersaveGovernor", "UserspaceGovernor",
     "OnDemandGovernor", "ConservativeGovernor",
+    "NonclairvoyantScheduler",
 ]

@@ -3,10 +3,13 @@
 Decision rule (faithful to ``drivers/cpufreq/cpufreq_ondemand.c`` of the
 paper-era kernels):
 
-* if the sampled load exceeds ``up_threshold`` (default 95%), jump
-  straight to the maximum frequency;
-* otherwise set ``freq_next = load * max_freq`` and map it onto the
-  grid with relation *L* (lowest grid frequency at or above the target).
+* if the sampled load *strictly exceeds* ``up_threshold`` (default 95%,
+  kernel test ``load > up_threshold`` — equality takes the proportional
+  path), jump straight to the maximum frequency;
+* otherwise set ``freq_next = utilization * max_freq`` — the kernel's
+  ``load * max_freq / 100`` with percent load rewritten for our
+  fractional (0..1) utilization — and map it onto the grid with
+  relation *L* (lowest grid frequency at or above the target).
 
 The paper characterizes OnDemand as the governor that "adjusts core
 frequencies more aggressively to save power" (Section 6.2): under
@@ -39,9 +42,13 @@ class OnDemandGovernor(DynamicGovernor):
     def target_frequency(self, utilization: float) -> Optional[float]:
         assert self.core is not None
         table = self.core.pstates
+        # Strictly greater, matching cpufreq_ondemand.c's
+        # ``if (load > od_tuners->up_threshold)``: a load exactly at the
+        # threshold takes the proportional path below.
         if utilization * 100.0 > self.up_threshold:
             return table.max_freq
-        # freq_next = load * max_freq / 100, relation L.
+        # freq_next = utilization * max_freq (the kernel computes
+        # load * max_freq / 100 with load in percent), relation L.
         target = utilization * table.max_freq
         return table.nearest_at_least(max(target, table.min_freq))
 

@@ -42,6 +42,7 @@ COMMANDS: Dict[str, Callable[[figures.FigureOptions], object]] = {
     "overhead": lambda o: figures.polaris_overhead(),
     "extension": lambda o: figures.extension_worker_parking(o),
     "resilience": lambda o: figures.resilience_figure(o),
+    "arena": lambda o: figures.arena_tournament(o),
     "granularity": lambda o: figures.granularity_figure(o),
     "fleet": lambda o: figures.fleet_elastic_frontier(o),
     "availability": lambda o: figures.availability_figure(o),
@@ -77,8 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "('burst', 'brownout', 'sticky-pstate', "
                              "'dying-core', '+'-compositions like "
                              "'burst+brownout', or a plan JSON path); the "
-                             "'resilience' and 'availability' figures "
-                             "supply their own scenarios and ignore this")
+                             "'resilience' and 'availability' figures and "
+                             "the 'arena' fault rounds supply their own "
+                             "scenarios")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--clear-cache", action="store_true",

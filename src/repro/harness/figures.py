@@ -25,7 +25,9 @@ from repro.harness.experiment import ExperimentConfig, ExperimentResult
 from repro.harness.parallel import SweepRunner
 from repro.harness.profiling import perf_clock
 from repro.harness.profiling import TimingReport
-from repro.harness.schemes import FIGURE_BASELINE_SCHEMES, VARIANT_SCHEMES
+from repro.harness.schemes import (
+    ARENA_SCHEMES, FIGURE_BASELINE_SCHEMES, VARIANT_SCHEMES,
+)
 from repro.metrics.report import (
     availability_record, availability_table, format_series, format_table,
     sparkline,
@@ -598,6 +600,142 @@ def resilience_figure(options: Optional[FigureOptions] = None
     return ResilienceResult(
         "Resilience: fault scenarios x schemes (TPC-C medium load)",
         tuple(RESILIENCE_SCENARIOS), series, actions, results)
+
+
+# ----------------------------------------------------------------------
+# Scheduler arena: the whole speed-scaling family in one tournament
+# ----------------------------------------------------------------------
+#: Workload columns of the arena (one per benchmark family).
+ARENA_BENCHMARKS = ("tpcc", "tpce", "ycsb-b")
+
+#: Load levels swept per workload (fractions of saturation).
+ARENA_LOADS = (0.3, 0.6, 0.9)
+
+#: Extra arena rounds under repro.faults chaos (TPC-C, medium load).
+ARENA_FAULT_ROUNDS = ("burst", "dying-core")
+
+#: Slack used throughout the arena (the mid slack of Figures 6-8).
+ARENA_SLACK = 40.0
+
+
+@dataclass
+class ArenaResult:
+    """Power/failure per (scheme, workload, load) plus fault rounds.
+
+    The tournament scores every scheme on two axes at once: average
+    power (efficiency) and deadline-failure rate (robustness).  Per
+    (workload, load) column the *frontier* is the set of
+    Pareto-efficient schemes --- nobody else is at least as good on
+    both axes and strictly better on one.
+    """
+
+    title: str
+    schemes: Tuple[str, ...]  # labels, arena order
+    benchmarks: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    fault_rounds: Tuple[str, ...]
+    #: (scheme label, benchmark, load) -> (power W, failure rate).
+    cells: Dict[Tuple[str, str, float], Tuple[float, float]]
+    #: (scheme label, fault scenario) -> (power W, failure rate).
+    fault_cells: Dict[Tuple[str, str], Tuple[float, float]]
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def power(self, label: str, benchmark: str, load: float) -> float:
+        return self.cells[(label, benchmark, load)][0]
+
+    def failure(self, label: str, benchmark: str, load: float) -> float:
+        return self.cells[(label, benchmark, load)][1]
+
+    def frontier(self, benchmark: str, load: float) -> List[str]:
+        """Pareto-efficient scheme labels for one (workload, load) cell."""
+        points = [(label, *self.cells[(label, benchmark, load)])
+                  for label in self.schemes]
+        out = []
+        for label, p, f in points:
+            dominated = any(
+                op <= p + 1e-12 and of <= f + 1e-12
+                and (op < p - 1e-12 or of < f - 1e-12)
+                for other, op, of in points if other != label)
+            if not dominated:
+                out.append(label)
+        return out
+
+    def render(self) -> str:
+        out = [self.title, ""]
+        for benchmark in self.benchmarks:
+            out.append(format_table(
+                ["scheme"] + [f"load {load:g}" for load in self.loads],
+                [[label] + [f"{p:.1f}W/{f:.3f}"
+                            for p, f in (self.cells[(label, benchmark, load)]
+                                         for load in self.loads)]
+                 for label in self.schemes],
+                title=f"{benchmark}: avg power (W) / failure rate vs load"))
+            out.append("")
+        out.append(format_table(
+            ["workload", "load", "power/miss frontier"],
+            [[benchmark, f"{load:g}",
+              ", ".join(self.frontier(benchmark, load))]
+             for benchmark in self.benchmarks for load in self.loads],
+            title="Pareto frontiers (power vs deadline misses)"))
+        if self.fault_cells:
+            out.append("")
+            out.append(format_table(
+                ["scheme"] + list(self.fault_rounds),
+                [[label] + [f"{p:.1f}W/{f:.3f}"
+                            for p, f in (self.fault_cells[(label, scenario)]
+                                         for scenario in self.fault_rounds)]
+                 for label in self.schemes],
+                title="fault rounds (TPC-C, medium load): "
+                      "avg power (W) / failure rate"))
+        return "\n".join(out)
+
+
+def arena_tournament(options: Optional[FigureOptions] = None) -> ArenaResult:
+    """The scheduler-arena tournament: scheme x workload x load grid.
+
+    Every scheme in :data:`~repro.harness.schemes.ARENA_SCHEMES` ---
+    POLARIS, the online qOA-style and AVR schedulers promoted from the
+    theory oracles, the nonclairvoyant scaler, the reactive governors,
+    and the flat-out baseline --- runs against each workload at each
+    load level, then replays the fault rounds (burst, dying-core) on
+    TPC-C at medium load so robustness is scored next to efficiency.
+    """
+    options = options or FigureOptions.from_env()
+    grid = [options.base_config(
+                benchmark=benchmark, scheme=scheme, load_fraction=load,
+                slack=ARENA_SLACK)
+            for scheme in ARENA_SCHEMES
+            for benchmark in ARENA_BENCHMARKS
+            for load in ARENA_LOADS]
+    fault_grid = [options.base_config(
+                      benchmark="tpcc", scheme=scheme, load_fraction=0.6,
+                      slack=ARENA_SLACK, faults=scenario)
+                  for scheme in ARENA_SCHEMES
+                  for scenario in ARENA_FAULT_ROUNDS]
+    results = options.run_cells(grid + fault_grid)
+    labels: List[str] = []
+    cells: Dict[Tuple[str, str, float], Tuple[float, float]] = {}
+    fault_cells: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    cursor = iter(results)
+    for _scheme in ARENA_SCHEMES:
+        label = None
+        for benchmark in ARENA_BENCHMARKS:
+            for load in ARENA_LOADS:
+                result = next(cursor)
+                label = result.scheme_label
+                cells[(label, benchmark, load)] = (
+                    result.avg_power_watts, result.failure_rate)
+        labels.append(label)
+    for label in labels:
+        for scenario in ARENA_FAULT_ROUNDS:
+            result = next(cursor)
+            fault_cells[(label, scenario)] = (
+                result.avg_power_watts, result.failure_rate)
+    return ArenaResult(
+        "Scheduler arena: speed-scaling family tournament "
+        f"(slack {ARENA_SLACK:g} ms)",
+        tuple(labels), tuple(ARENA_BENCHMARKS), tuple(ARENA_LOADS),
+        tuple(ARENA_FAULT_ROUNDS), cells, fault_cells, results)
 
 
 # ----------------------------------------------------------------------

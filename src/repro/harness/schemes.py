@@ -13,12 +13,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.core.estimator import ExecutionTimeEstimator
+from repro.core.online import AvrScheduler, QoaScheduler
 from repro.core.polaris import PolarisScheduler
 from repro.core.variants import (
     PolarisFifoNoArriveScheduler, PolarisFifoScheduler, PolarisShedScheduler,
 )
 from repro.governors.base import Governor
 from repro.governors.conservative import ConservativeGovernor
+from repro.governors.nonclairvoyant import NonclairvoyantScheduler
 from repro.governors.ondemand import OnDemandGovernor
 from repro.governors.static import UserspaceGovernor
 
@@ -54,9 +56,12 @@ class Scheme:
 
 
 def _static(freq: float) -> Scheme:
+    # One-decimal formatting keeps the name identical to the registry
+    # key for every grid frequency (``:g`` renders 2.0 as "2", making
+    # "static-2.0"'s scheme answer to the name "static-2").
     return Scheme(
-        name=f"static-{freq:g}",
-        label=f"{freq:g} GHz",
+        name=f"static-{freq:.1f}",
+        label=f"{freq:.1f} GHz",
         governor_factory=lambda: UserspaceGovernor(freq),
         initial_freq=freq,
     )
@@ -72,6 +77,12 @@ SCHEMES = {
         scheduler_class=PolarisFifoNoArriveScheduler),
     "polaris-shed": Scheme("polaris-shed", "POLARIS-SHED",
                            scheduler_class=PolarisShedScheduler),
+    "oa-online": Scheme("oa-online", "OA-Online",
+                        scheduler_class=QoaScheduler),
+    "avr-online": Scheme("avr-online", "AVR-Online",
+                         scheduler_class=AvrScheduler),
+    "nonclairvoyant": Scheme("nonclairvoyant", "Nonclairvoyant",
+                             scheduler_class=NonclairvoyantScheduler),
     "ondemand": Scheme("ondemand", "OnDemand",
                        governor_factory=OnDemandGovernor),
     "conservative": Scheme("conservative", "Conservative",
@@ -100,3 +111,10 @@ FIGURE_BASELINE_SCHEMES = ("polaris", "ondemand", "conservative",
 
 #: The component-analysis line-up of Figure 12.
 VARIANT_SCHEMES = ("polaris", "polaris-fifo", "polaris-fifo-noarrive")
+
+#: The scheduler-arena tournament line-up: POLARIS next to the rest of
+#: the speed-scaling family (online qOA-style and AVR promoted from the
+#: theory oracles, the nonclairvoyant scaler), the dynamic governors,
+#: and the flat-out baseline.
+ARENA_SCHEMES = ("polaris", "oa-online", "avr-online", "nonclairvoyant",
+                 "ondemand", "conservative", "static-2.8")

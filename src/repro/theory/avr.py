@@ -31,8 +31,14 @@ def avr_speed_profile(instance: ProblemInstance
                     | {j.deadline for j in instance.jobs})
     profile: List[Tuple[float, float, float]] = []
     for start, end in zip(events, events[1:]):
+        # The ``window > _TOL`` guard keeps point-deadline jobs out of
+        # the accumulator: a sub-tolerance window can satisfy both
+        # tolerance-padded endpoint tests for a slot it cannot actually
+        # occupy, pouring its (near-infinite) density into a neighbour.
         speed = sum(j.density for j in instance.jobs
-                    if j.arrival <= start + _TOL and j.deadline >= end - _TOL)
+                    if j.window > _TOL
+                    and j.arrival <= start + _TOL
+                    and j.deadline >= end - _TOL)
         if speed > _TOL:
             profile.append((start, end, speed))
     return profile

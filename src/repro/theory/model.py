@@ -52,6 +52,17 @@ class ProblemInstance:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids")
+        for j in jobs:
+            # Job.__post_init__ already rejects deadline <= arrival, but
+            # instances can be built from bypass-constructed or
+            # deserialized jobs; a zero-width window makes every density
+            # (w / (d - a)) undefined, so fail here with a clear error
+            # instead of a ZeroDivisionError deep inside OA/AVR.
+            if not (j.deadline - j.arrival > 0.0):
+                raise ValueError(
+                    f"job {j.job_id}: zero-width window "
+                    f"[{j.arrival}, {j.deadline}] — deadline must be "
+                    f"strictly after arrival")
         self.jobs: Tuple[Job, ...] = tuple(
             sorted(jobs, key=lambda j: (j.arrival, j.deadline, j.job_id)))
 

@@ -12,11 +12,20 @@ against YDS.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Tuple
 
 from repro.theory.model import ProblemInstance, Schedule, Segment
 
 _TOL = 1e-12
+
+#: Width used to materialize an "instantaneous" completion.  When a
+#: pending job's deadline sits at/behind the plan start, the idealized
+#: model runs it at infinite speed for zero time; ``Segment`` cannot
+#: represent a zero-width run, so we clamp to this sliver (well inside
+#: ``Schedule.check_feasible``'s 1e-6 relative tolerance) at the finite
+#: speed that completes the remaining work.
+_INSTANT = 1e-9
 
 
 def _staircase_plan(now: float, pending: List[Tuple[float, float, int]]
@@ -40,7 +49,10 @@ def _staircase_plan(now: float, pending: List[Tuple[float, float, int]]
             horizon = jobs[k][0] - start
             if horizon <= _TOL:
                 # Deadline at/behind the current plan start: infinite
-                # density in the idealized model; take the prefix.
+                # density in the idealized model.  Deadlines ascend, so
+                # this can only trigger at k == index and the group is
+                # that single job, completed instantaneously by
+                # ``oa_schedule``.
                 best_density = float("inf")
                 best_end = k
                 break
@@ -50,7 +62,9 @@ def _staircase_plan(now: float, pending: List[Tuple[float, float, int]]
                 best_end = k
         group = jobs[index:best_end + 1]
         plan.append((best_density, group))
-        start = jobs[best_end][0]
+        # A behind-the-start deadline must not move the staircase start
+        # backwards — that would inflate every later group's horizon.
+        start = max(start, jobs[best_end][0])
         index = best_end + 1
     return plan
 
@@ -87,6 +101,23 @@ def oa_schedule(instance: ProblemInstance,
             for _deadline, _rem, job_id in group:
                 rem = remaining[job_id]
                 if rem <= _TOL:
+                    continue
+                if not math.isfinite(speed):
+                    # Instantaneous completion: the job is due *now*, so
+                    # it finishes in (idealized) zero time and cannot be
+                    # cut off by the next arrival.  Without this branch
+                    # the segment below would have zero width and the
+                    # work would be silently dropped.  The speed comes
+                    # from the *rounded* width (at large ``cursor`` the
+                    # float sum absorbs part of the sliver) so the
+                    # segment carries exactly ``rem`` work.
+                    end = cursor + _INSTANT
+                    if end <= cursor:
+                        end = math.nextafter(cursor, math.inf)
+                    segments.append(Segment(
+                        cursor, end, rem / (end - cursor), job_id))
+                    remaining[job_id] = 0.0
+                    cursor = end
                     continue
                 finish = cursor + rem / speed
                 end = min(finish, next_arrival)

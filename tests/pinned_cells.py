@@ -83,6 +83,15 @@ def _pinned_grid():
                          load_fraction=0.9, **_SHORT),
         ExperimentConfig(scheme="polaris", slack=10.0, seed=5,
                          estimator_mixed_freq_updates=True, **_SHORT),
+        # The scheduler arena's promoted online algorithms (same-seed
+        # fingerprints for the tournament's new schemes), one healthy
+        # cell each plus one arena fault round.
+        ExperimentConfig(scheme="oa-online", slack=40.0, seed=5, **_SHORT),
+        ExperimentConfig(scheme="avr-online", slack=40.0, seed=5, **_SHORT),
+        ExperimentConfig(scheme="nonclairvoyant", slack=40.0, seed=5,
+                         **_SHORT),
+        ExperimentConfig(scheme="oa-online", slack=40.0, seed=3,
+                         faults="dying-core", **_SHORT),
     ]
 
 

@@ -95,6 +95,24 @@ def test_ondemand_threshold_validation():
         OnDemandGovernor(up_threshold=101.0)
 
 
+def test_ondemand_up_threshold_boundary_is_strictly_greater(sim):
+    """cpufreq_ondemand.c tests ``load > up_threshold``: a load exactly
+    at the threshold takes the proportional path, one epsilon above it
+    jumps to max."""
+    core = make_core(sim)
+    governor = OnDemandGovernor(sampling_period_s=0.01, up_threshold=95.0)
+    governor.attach(core, sim)
+    # Exactly at the threshold: proportional, relation L of 0.95 * 2.8
+    # = 2.66 -> 2.8 happens to round to max on this grid, so use a
+    # threshold the grid can distinguish.
+    governor.up_threshold = 50.0
+    at = governor.target_frequency(0.50)
+    above = governor.target_frequency(0.50 + 1e-9)
+    assert at == XEON_E5_2640V3_PSTATES.nearest_at_least(0.50 * 2.8)
+    assert at < XEON_E5_2640V3_PSTATES.max_freq
+    assert above == XEON_E5_2640V3_PSTATES.max_freq
+
+
 # ----------------------------------------------------------------------
 # Conservative
 # ----------------------------------------------------------------------

@@ -314,9 +314,78 @@ def test_rl120_real_plan_module_is_clean():
     assert [f for f in findings if f.code == "RL120"] == []
 
 
+# ----------------------------------------------------------------------
+# RL121 scheme-registry consistency
+# ----------------------------------------------------------------------
+SCHEMES_PATH = "src/repro/harness/schemes.py"
+
+RL121_CLEAN = (
+    "SCHEMES = {\n"
+    "    'polaris': Scheme('polaris', 'POLARIS',\n"
+    "                      scheduler_class=PolarisScheduler),\n"
+    "    'ondemand': Scheme('ondemand', 'OnDemand',\n"
+    "                       governor_factory=OnDemandGovernor),\n"
+    "    'static-2.8': _static(2.8),\n"
+    "}\n"
+    "ARENA_SCHEMES = ('polaris', 'ondemand')\n")
+
+
+def test_rl121_clean_registry_passes():
+    assert codes(RL121_CLEAN, path=SCHEMES_PATH) == []
+
+
+def test_rl121_flags_key_name_mismatch():
+    source = RL121_CLEAN.replace("Scheme('polaris', 'POLARIS'",
+                                 "Scheme('polariss', 'POLARIS'")
+    findings = lint_source(source, path=SCHEMES_PATH)
+    assert [f.code for f in findings] == ["RL121"]
+    assert "polariss" in findings[0].message
+
+
+def test_rl121_flags_static_key_mismatch():
+    source = RL121_CLEAN.replace("'static-2.8': _static(2.8)",
+                                 "'static-2.8': _static(2.0)")
+    findings = lint_source(source, path=SCHEMES_PATH)
+    assert [f.code for f in findings] == ["RL121"]
+    assert "static-2.0" in findings[0].message
+
+
+def test_rl121_flags_mechanismless_and_double_mechanism_schemes():
+    source = RL121_CLEAN.replace(
+        "Scheme('ondemand', 'OnDemand',\n"
+        "                       governor_factory=OnDemandGovernor)",
+        "Scheme('ondemand', 'OnDemand')")
+    assert codes(source, path=SCHEMES_PATH) == ["RL121"]
+    source = RL121_CLEAN.replace(
+        "governor_factory=OnDemandGovernor",
+        "governor_factory=OnDemandGovernor,\n"
+        "                       scheduler_class=PolarisScheduler")
+    assert codes(source, path=SCHEMES_PATH) == ["RL121"]
+
+
+def test_rl121_flags_lineup_referencing_unregistered_scheme():
+    source = RL121_CLEAN.replace("('polaris', 'ondemand')",
+                                 "('polaris', 'turbo-boost')")
+    findings = lint_source(source, path=SCHEMES_PATH)
+    assert [f.code for f in findings] == ["RL121"]
+    assert "turbo-boost" in findings[0].message
+    assert "ARENA_SCHEMES" in findings[0].message
+
+
+def test_rl121_scopes_to_the_schemes_module():
+    broken = RL121_CLEAN.replace("('polaris', 'ondemand')",
+                                 "('polaris', 'turbo-boost')")
+    assert codes(broken, path=HARNESS) == []
+
+
+def test_rl121_real_schemes_module_is_clean():
+    findings = lint_paths([Path("src/repro/harness/schemes.py")])
+    assert [f for f in findings if f.code == "RL121"] == []
+
+
 def test_registry_has_the_per_file_rules():
     assert sorted(RULE_REGISTRY) == \
-        [f"RL00{i}" for i in range(1, 10)] + ["RL120"]
+        [f"RL00{i}" for i in range(1, 10)] + ["RL120", "RL121"]
 
 
 # ----------------------------------------------------------------------
